@@ -1,0 +1,114 @@
+package mamsfs
+
+import (
+	"testing"
+
+	"mams/internal/experiments"
+	"mams/internal/mams"
+)
+
+// benchOpts keeps the macro-benchmarks to a few seconds each while
+// preserving every artifact's shape. Run cmd/mamsbench -full for paper
+// scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 3, Ops: 3000, Trials: 1, Clients: 64, DataServers: 4}
+}
+
+// BenchmarkFigure5 regenerates the per-operation throughput matrix (HDFS vs
+// MAMS-3A{3,6,9,12}S) and reports the headline cells.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure5(benchOpts())
+		b.ReportMetric(res.Tput[mams.OpCreate]["HDFS"], "hdfs-create-ops/s")
+		b.ReportMetric(res.Tput[mams.OpCreate]["MAMS-3A3S"], "cfs-create-ops/s")
+		b.ReportMetric(res.Tput[mams.OpRename]["MAMS-3A3S"], "cfs-rename-ops/s")
+	}
+}
+
+// BenchmarkFigure6 regenerates the mixed-workload comparison across the
+// five reliability mechanisms.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure6(benchOpts())
+		b.ReportMetric(res.Tput["HDFS"], "hdfs-ops/s")
+		b.ReportMetric(res.Tput["CFS (MAMS-1A3S)"], "cfs-ops/s")
+		b.ReportMetric(res.Tput["Hadoop HA"], "ha-ops/s")
+	}
+}
+
+// BenchmarkTableI regenerates the MTTR-vs-image-size table at two
+// representative sizes (full sweep: cmd/mamsbench -exp table1).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TableI(benchOpts(), []int64{16, 256})
+		b.ReportMetric(res.MTTR[16]["MAMS-1A3S"], "mams-16MB-s")
+		b.ReportMetric(res.MTTR[256]["MAMS-1A3S"], "mams-256MB-s")
+		b.ReportMetric(res.MTTR[256]["BackupNode"], "backupnode-256MB-s")
+		b.ReportMetric(res.MTTR[256]["Hadoop HA"], "ha-256MB-s")
+	}
+}
+
+// BenchmarkFigure7 regenerates the failover stage breakdown.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Trials = 3
+		res := experiments.Figure7(opts)
+		if len(res.Trials) > 0 {
+			tr := res.Trials[0]
+			b.ReportMetric(tr.Election.Milliseconds(), "election-ms")
+			b.ReportMetric(tr.Switching.Milliseconds(), "switching-ms")
+			b.ReportMetric(tr.Reconnection.Milliseconds(), "reconnect-ms")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates the three fault scenarios' state-transition
+// sequences.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TableII(benchOpts())
+		b.ReportMetric(float64(len(res.Scenarios[experiments.TestA].States)), "testA-states")
+		b.ReportMetric(float64(len(res.Scenarios[experiments.TestB].States)), "testB-states")
+		b.ReportMetric(float64(len(res.Scenarios[experiments.TestC].States)), "testC-states")
+	}
+}
+
+// BenchmarkFigure8 regenerates the requests/sec-under-faults time series.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure8(benchOpts())
+		sc := res.Scenarios[experiments.TestA]
+		pre := 0.0
+		for j := 30; j < 55; j++ {
+			pre += sc.Series.Rate(j)
+		}
+		b.ReportMetric(pre/25, "preFault-ops/s")
+		b.ReportMetric(float64(sc.Failed), "failed-ops")
+	}
+}
+
+// BenchmarkAblations regenerates the four design-choice ablations
+// (standby count, session timeout, batch interval, sync-SSP commit).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		_ = experiments.AblationStandbys(opts)
+		_ = experiments.AblationSessionTimeout(opts)
+		_ = experiments.AblationBatchInterval(opts)
+		a4 := experiments.AblationSyncSSP(opts)
+		a5 := experiments.AblationPartitioning(opts)
+		b.ReportMetric(float64(len(a4.Rows)), "sync-ssp-rows")
+		b.ReportMetric(float64(len(a5.Rows)), "partitioning-rows")
+	}
+}
+
+// BenchmarkFigure9 regenerates the MapReduce-under-failure comparison.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure9(benchOpts())
+		b.ReportMetric(res.Failure["CFS (MAMS-3A9S)"].Seconds(), "cfs-failure-s")
+		b.ReportMetric(res.Failure["Boom-FS"].Seconds(), "boom-failure-s")
+		b.ReportMetric(res.MapImprovementPct, "map-advantage-%")
+	}
+}

@@ -1,0 +1,77 @@
+// Command mamsbench regenerates the paper's evaluation artifacts (§IV):
+// Figures 5-9 and Tables I-II, printing the same rows/series the paper
+// reports, with the published values alongside where available.
+//
+// Usage:
+//
+//	mamsbench -exp all                 # everything, quick scale
+//	mamsbench -exp table1 -trials 10   # one artifact, more trials
+//	mamsbench -exp figure5 -full       # paper scale (1M ops; slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mams/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|all")
+		seed    = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
+		ops     = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
+		trials  = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
+		clients = flag.Int("clients", 0, "closed-loop op concurrency (0 = default 192)")
+		full    = flag.Bool("full", false, "paper-scale settings (1M ops, 10 trials; slow)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Ops: *ops, Trials: *trials, Clients: *clients}
+	if *full {
+		opts = experiments.Full()
+		opts.Seed = *seed
+	}
+	opts.Defaults()
+
+	run := func(name string) {
+		switch name {
+		case "figure5":
+			fmt.Println(experiments.Figure5(opts).Table)
+		case "figure6":
+			fmt.Println(experiments.Figure6(opts).Table)
+		case "table1":
+			fmt.Println(experiments.TableI(opts, nil).Table)
+		case "figure7":
+			fmt.Println(experiments.Figure7(opts).Table)
+		case "table2":
+			fmt.Println(experiments.TableII(opts).Table)
+		case "figure8":
+			fmt.Println(experiments.Figure8(opts).Table)
+		case "figure9":
+			fmt.Println(experiments.Figure9(opts).Table)
+		case "ablations":
+			fmt.Println(experiments.AblationStandbys(opts))
+			fmt.Println(experiments.AblationSessionTimeout(opts))
+			fmt.Println(experiments.AblationBatchInterval(opts))
+			fmt.Println(experiments.AblationSyncSSP(opts))
+			fmt.Println(experiments.AblationPartitioning(opts))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"figure5", "figure6", "table1", "figure7", "table2", "figure8", "figure9", "ablations"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}

@@ -1,0 +1,3 @@
+module mams
+
+go 1.22

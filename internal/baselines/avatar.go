@@ -1,0 +1,318 @@
+package baselines
+
+import (
+	"errors"
+
+	"mams/internal/coord"
+	"mams/internal/journal"
+	"mams/internal/mams"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// AvatarParams models Facebook's AvatarNode (realtime HDFS HA via an NFS
+// filer shared between the active and standby avatars).
+type AvatarParams struct {
+	MDS mams.Params
+	// JournalPerRecordCPU is the active's CPU cost to serialize one edit
+	// through the NFS client (AvatarNode's metadata-path overhead in
+	// Fig. 6).
+	JournalPerRecordCPU sim.Time
+	// FilerAppendCost is the NFS round-trip + filer disk cost per batch
+	// (the synchronous durability path: slower than a local fsync, which
+	// is AvatarNode's Figure 6 overhead).
+	FilerAppendCost sim.Time
+	// TailEvery is the standby's journal-tail polling period.
+	TailEvery sim.Time
+	// SwitchFixed is the fixed failover work after detection: lease
+	// recovery, client-side avatar switch, RPC re-registration. Dominates
+	// AvatarNode's flat ~30 s MTTR (Table I column 4).
+	SwitchFixed sim.Time
+	// Coordination failure detector (the paper: heartbeat 2 s, session 5 s).
+	CoordHeartbeat      sim.Time
+	CoordSessionTimeout sim.Time
+}
+
+// DefaultAvatarParams returns the calibration used by the experiments.
+func DefaultAvatarParams() AvatarParams {
+	return AvatarParams{
+		MDS:                 mams.DefaultParams(),
+		JournalPerRecordCPU: 30 * sim.Microsecond,
+		FilerAppendCost:     1800 * sim.Microsecond,
+		TailEvery:           500 * sim.Millisecond,
+		SwitchFixed:         23 * sim.Second,
+		CoordHeartbeat:      2 * sim.Second,
+		CoordSessionTimeout: 5 * sim.Second,
+	}
+}
+
+const avatarLock = "/avatar/lock"
+
+// Filer wire messages.
+type avAppend struct {
+	Batch journal.Batch
+}
+type avAppendAck struct{}
+type avReadSince struct {
+	FromSN uint64
+}
+type avBatches struct {
+	Batches []journal.Batch
+}
+
+// AvatarFiler is the shared NFS filer holding the edit log.
+type AvatarFiler struct {
+	node     *simnet.Node
+	cost     sim.Time
+	batches  []journal.Batch
+	diskFree sim.Time
+}
+
+// NewAvatarFiler registers the filer on the network.
+func NewAvatarFiler(net *simnet.Network, id simnet.NodeID, appendCost sim.Time) *AvatarFiler {
+	f := &AvatarFiler{cost: appendCost}
+	f.node = net.AddNode(id, f)
+	return f
+}
+
+// Node exposes the filer process.
+func (f *AvatarFiler) Node() *simnet.Node { return f.node }
+
+// HandleMessage implements simnet.Handler.
+func (f *AvatarFiler) HandleMessage(from simnet.NodeID, msg any) {}
+
+// HandleRequest implements simnet.RequestHandler.
+func (f *AvatarFiler) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case avAppend:
+		now := f.node.World().Now()
+		start := f.diskFree
+		if start < now {
+			start = now
+		}
+		f.diskFree = start + f.cost
+		f.node.After(f.diskFree-now, "filer-append", func() {
+			f.batches = append(f.batches, m.Batch)
+			reply(avAppendAck{})
+		})
+	case avReadSince:
+		var out []journal.Batch
+		for _, b := range f.batches {
+			if b.SN >= m.FromSN {
+				out = append(out, b)
+			}
+		}
+		reply(avBatches{Batches: out})
+	default:
+		reply(nil)
+	}
+}
+
+type avRole uint8
+
+const (
+	avActive avRole = iota + 1
+	avStandby
+	avRecovering
+	avDead
+)
+
+// Avatar is one AvatarNode (active or standby).
+type Avatar struct {
+	node     *simnet.Node
+	core     *nsCore
+	params   AvatarParams
+	role     avRole
+	filer    simnet.NodeID
+	coordCli *coord.Client
+	tr       *trace.Log
+	tailing  bool
+}
+
+// NewAvatar registers one avatar. Exactly one starts active.
+func NewAvatar(net *simnet.Network, id, filer simnet.NodeID, active bool,
+	coordServers []simnet.NodeID, params AvatarParams, tr *trace.Log) *Avatar {
+	a := &Avatar{params: params, filer: filer, tr: tr}
+	a.node = net.AddNode(id, a)
+	a.core = newNSCore(a.node, params.MDS)
+	if active {
+		a.role = avActive
+	} else {
+		a.role = avStandby
+	}
+	a.coordCli = coord.NewClient(a.node, coord.ClientConfig{
+		Servers:        coordServers,
+		SessionTimeout: params.CoordSessionTimeout,
+		HeartbeatEvery: params.CoordHeartbeat,
+	}, a.onCoordEvent)
+	return a
+}
+
+// Start boots the avatar's coordination session and role duties.
+func (a *Avatar) Start() {
+	a.coordCli.Start(func(err error) {
+		if err != nil {
+			a.node.After(sim.Second, "avatar-coord-retry", a.Start)
+			return
+		}
+		a.coordCli.Create("/avatar", nil, func(string, error) {
+			if a.role == avActive {
+				a.coordCli.CreateEphemeral(avatarLock, []byte(a.node.ID()), func(string, error) {
+					a.armBatch()
+				})
+				return
+			}
+			a.coordCli.Exists(avatarLock, true, func(bool, error) {})
+			a.armTail()
+		})
+	})
+}
+
+// Node exposes the simulated process.
+func (a *Avatar) Node() *simnet.Node { return a.node }
+
+// IsActive reports whether this avatar serves clients.
+func (a *Avatar) IsActive() bool { return a.role == avActive }
+
+func (a *Avatar) emit(what string, args ...string) {
+	if a.tr != nil {
+		a.tr.Emit(trace.KindFailover, string(a.node.ID()), what, args...)
+	}
+}
+
+func (a *Avatar) onCoordEvent(ev coord.WatchEvent) {
+	switch ev.Type {
+	case coord.EventDeleted:
+		if ev.Path == avatarLock && a.role == avStandby {
+			a.takeover()
+		}
+	case coord.EventSessionExpired:
+		if a.role == avActive {
+			// We cannot prove we still own the lock: stop serving.
+			a.role = avDead
+			a.core.failAll(errors.New("avatar: session expired"))
+		}
+	case coord.EventCreated, coord.EventDataChanged:
+		if ev.Path == avatarLock && a.role == avStandby {
+			a.coordCli.Exists(avatarLock, true, func(bool, error) {})
+		}
+	}
+}
+
+func (a *Avatar) armBatch() {
+	a.node.After(a.params.MDS.BatchEvery, "avatar-batch", func() {
+		if a.role != avActive {
+			return
+		}
+		if b, ok := a.core.seal(); ok {
+			sn := b.SN
+			now := a.node.World().Now()
+			if a.core.busyUntil < now {
+				a.core.busyUntil = now
+			}
+			a.core.busyUntil += sim.Time(len(b.Records)) * a.params.JournalPerRecordCPU
+			// Synchronous NFS append: the durability path the standby
+			// tails.
+			a.node.Call(a.filer, avAppend{Batch: b}, 30*sim.Second, func(resp any, err error) {
+				if err == nil {
+					a.core.commit(sn)
+				}
+			})
+		}
+		a.armBatch()
+	})
+}
+
+func (a *Avatar) armTail() {
+	if a.tailing {
+		return
+	}
+	a.tailing = true
+	var loop func()
+	loop = func() {
+		if a.role != avStandby && a.role != avRecovering {
+			a.tailing = false
+			return
+		}
+		a.tailOnce(func() {
+			a.node.After(a.params.TailEvery, "avatar-tail", loop)
+		})
+	}
+	a.node.After(a.params.TailEvery, "avatar-tail", loop)
+}
+
+func (a *Avatar) tailOnce(done func()) {
+	a.node.Call(a.filer, avReadSince{FromSN: a.core.log.LastSN() + 1}, 10*sim.Second,
+		func(resp any, err error) {
+			if err == nil {
+				if bs, ok := resp.(avBatches); ok {
+					for _, b := range bs.Batches {
+						if b.SN != a.core.log.LastSN()+1 {
+							continue
+						}
+						if aerr := a.core.tree.ApplyBatch(b); aerr == nil {
+							_ = a.core.log.Append(b)
+							a.core.builder = journal.NewBuilder(1, a.core.log.LastSN(), b.LastTx())
+						}
+					}
+				}
+			}
+			done()
+		})
+}
+
+// takeover runs the avatar switch: grab the lock, ingest the journal tail,
+// then pay the fixed switching cost before serving.
+func (a *Avatar) takeover() {
+	a.coordCli.CreateEphemeral(avatarLock, []byte(a.node.ID()), func(_ string, err error) {
+		if err != nil {
+			a.coordCli.Exists(avatarLock, true, func(bool, error) {})
+			return
+		}
+		a.role = avRecovering
+		a.emit("avatar-takeover-start")
+		a.tailOnce(func() {
+			a.node.After(a.params.SwitchFixed, "avatar-switch", func() {
+				if a.role != avRecovering {
+					return
+				}
+				a.role = avActive
+				a.emit("avatar-takeover-done")
+				a.armBatch()
+			})
+		})
+	})
+}
+
+// HandleMessage implements simnet.Handler.
+func (a *Avatar) HandleMessage(from simnet.NodeID, msg any) {
+	a.coordCli.MaybeHandle(from, msg)
+}
+
+// HandleRequest implements simnet.RequestHandler.
+func (a *Avatar) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case mams.ClientOp:
+		if a.role != avActive {
+			reply(mams.OpReply{NotActive: true})
+			return
+		}
+		a.core.handleOp(m, reply, nil)
+	case mams.WhoIsActive:
+		if a.role == avActive {
+			reply(mams.ActiveIs{Active: a.node.ID(), Epoch: 1})
+			return
+		}
+		reply(mams.ActiveIs{})
+	default:
+		reply(nil)
+	}
+}
+
+// Crash fails the avatar.
+func (a *Avatar) Crash() {
+	a.core.failAll(errors.New("avatar: crashed"))
+	a.node.Crash()
+	a.role = avDead
+}

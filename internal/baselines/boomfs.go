@@ -1,0 +1,361 @@
+package baselines
+
+import (
+	"errors"
+
+	"mams/internal/journal"
+	"mams/internal/mams"
+	"mams/internal/paxos"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// BoomFSParams models Boom-FS: the metadata state machine replicated over
+// a globally-consistent Paxos-ordered log ("a total ordering over events
+// affecting replicated state"), with centralized repair decisions on
+// failover.
+type BoomFSParams struct {
+	MDS mams.Params
+	// PaxosTick drives retransmission.
+	PaxosTick sim.Time
+	// PingEvery / PingMisses detect leader failure.
+	PingEvery  sim.Time
+	PingMisses int
+	// RepairFixed is the centralized repair-coordination cost the paper
+	// charges Boom-FS for on failover ("the operation performance ... is
+	// affected for centralizing repair action decisions and state
+	// transition, which leads to additional failover time").
+	RepairFixed sim.Time
+}
+
+// DefaultBoomFSParams returns the calibration used by the experiments.
+func DefaultBoomFSParams() BoomFSParams {
+	return BoomFSParams{
+		MDS:         mams.DefaultParams(),
+		PaxosTick:   50 * sim.Millisecond,
+		PingEvery:   sim.Second,
+		PingMisses:  5,
+		RepairFixed: 7 * sim.Second,
+	}
+}
+
+// boomBatch is the Paxos-replicated unit (a journal batch).
+type boomBatch struct {
+	B journal.Batch
+}
+
+type boomPing struct{}
+type boomPong struct {
+	Leader bool
+}
+
+type boomRole uint8
+
+const (
+	boomLeader boomRole = iota + 1
+	boomFollower
+	boomRecovering
+	boomDead
+)
+
+// BoomFS is one Boom-FS metadata replica.
+type BoomFS struct {
+	node     *simnet.Node
+	core     *nsCore
+	params   BoomFSParams
+	peers    []simnet.NodeID
+	rank     int // position in peers (takeover stagger)
+	replica  *paxos.Replica
+	role     boomRole
+	leader   simnet.NodeID // best guess
+	misses   int
+	attempts int // failed election attempts (backoff)
+	tr       *trace.Log
+}
+
+// NewBoomFS registers one replica; peers lists every replica including id.
+// The first peer bootstraps leadership.
+func NewBoomFS(net *simnet.Network, id simnet.NodeID, peers []simnet.NodeID,
+	params BoomFSParams, tr *trace.Log) *BoomFS {
+	b := &BoomFS{params: params, peers: peers, tr: tr, role: boomFollower}
+	for i, p := range peers {
+		if p == id {
+			b.rank = i
+		}
+	}
+	b.node = net.AddNode(id, b)
+	b.core = newNSCore(b.node, params.MDS)
+	strPeers := make([]string, len(peers))
+	for i, p := range peers {
+		strPeers[i] = string(p)
+	}
+	transport := func(to string, m paxos.Msg) { b.node.Send(simnet.NodeID(to), m) }
+	b.replica = paxos.New(paxos.Config{Self: string(id), Peers: strPeers}, transport, b.onPaxosApply)
+	return b
+}
+
+// Start boots ticking and (for the first peer) leadership.
+func (b *BoomFS) Start() {
+	if b.rank == 0 {
+		b.role = boomRecovering
+		b.node.After(0, "boom-lead", func() { b.replica.TryLead() })
+		b.awaitLeadership()
+	} else {
+		b.leader = b.peers[0]
+		b.armPing()
+	}
+	b.armTick()
+}
+
+// Node exposes the simulated process.
+func (b *BoomFS) Node() *simnet.Node { return b.node }
+
+// IsLeader reports whether this replica serves clients.
+func (b *BoomFS) IsLeader() bool { return b.role == boomLeader }
+
+// LastSN exposes the journal position.
+func (b *BoomFS) LastSN() uint64 { return b.core.log.LastSN() }
+
+// Tree exposes the namespace for verification.
+func (b *BoomFS) Files() int { return b.core.tree.Files() }
+
+func (b *BoomFS) emit(what string, args ...string) {
+	if b.tr != nil {
+		b.tr.Emit(trace.KindFailover, string(b.node.ID()), what, args...)
+	}
+}
+
+func (b *BoomFS) armTick() {
+	b.node.After(b.params.PaxosTick+sim.Time(b.rank)*7*sim.Millisecond, "boom-tick", func() {
+		b.replica.Tick()
+		b.armTick()
+	})
+}
+
+func (b *BoomFS) armPing() {
+	b.node.After(b.params.PingEvery, "boom-ping", func() {
+		if b.role != boomFollower {
+			return
+		}
+		b.node.Call(b.leader, boomPing{}, b.params.PingEvery, func(resp any, err error) {
+			if b.role != boomFollower {
+				return
+			}
+			if err != nil {
+				b.misses++
+				if b.misses >= b.params.PingMisses+b.rank {
+					// Staggered takeover: the lowest-rank survivor moves
+					// first; higher ranks only if it also fails.
+					b.startTakeover()
+					return
+				}
+			} else {
+				b.misses = 0
+				if pong, ok := resp.(boomPong); ok && !pong.Leader {
+					b.rotateLeaderGuess()
+				}
+			}
+		})
+		b.armPing()
+	})
+}
+
+// rotateLeaderGuess moves to the next peer, never guessing ourselves.
+func (b *BoomFS) rotateLeaderGuess() {
+	idx := 0
+	for i, p := range b.peers {
+		if p == b.leader {
+			idx = i
+		}
+	}
+	for i := 1; i <= len(b.peers); i++ {
+		cand := b.peers[(idx+i)%len(b.peers)]
+		if cand != b.node.ID() {
+			b.leader = cand
+			return
+		}
+	}
+}
+
+// startTakeover runs the Boom-FS failover: win the Paxos log, drain
+// recovery, run the centralized repair decision, then serve.
+func (b *BoomFS) startTakeover() {
+	b.role = boomRecovering
+	b.emit("boom-takeover-start", "sn", "")
+	b.replica.TryLead()
+	b.awaitLeadership()
+}
+
+// awaitLeadership polls until the replica leads with an empty recovery
+// pipeline, then pays the repair cost and serves. Contenders first check
+// whether a peer already claims leadership, and back off with a
+// rank-staggered delay so elections cannot duel forever.
+func (b *BoomFS) awaitLeadership() {
+	delay := 100*sim.Millisecond + sim.Time(b.rank)*137*sim.Millisecond +
+		sim.Time(b.attempts)*90*sim.Millisecond
+	if delay > 2*sim.Second {
+		delay = 2 * sim.Second
+	}
+	b.node.After(delay, "boom-await-lead", func() {
+		if b.role != boomRecovering {
+			return
+		}
+		if b.replica.Leading() {
+			b.attempts = 0
+			if b.replica.Outstanding() > 0 {
+				b.awaitLeadership()
+				return
+			}
+			// Centralized repair decision phase.
+			b.node.After(b.params.RepairFixed, "boom-repair", func() {
+				if b.role != boomRecovering {
+					return
+				}
+				if !b.replica.Leading() {
+					b.awaitLeadership() // preempted mid-repair
+					return
+				}
+				b.role = boomLeader
+				b.core.builder = journal.NewBuilder(1, b.core.log.LastSN(), b.core.lastTx)
+				b.emit("boom-leader")
+				b.armBatch()
+			})
+			return
+		}
+		// Not leading: first check whether someone else already claims the
+		// log before contending again.
+		pendingChecks := 0
+		leaderFound := false
+		finish := func() {
+			pendingChecks--
+			if pendingChecks > 0 || b.role != boomRecovering {
+				return
+			}
+			if leaderFound {
+				return // adopted follower role in the check callback
+			}
+			if !b.replica.Leading() && !b.replica.Electing() {
+				b.attempts++
+				b.replica.TryLead()
+			}
+			b.awaitLeadership()
+		}
+		for _, p := range b.peers {
+			if p == b.node.ID() {
+				continue
+			}
+			pendingChecks++
+			peer := p
+			b.node.Call(peer, boomPing{}, 200*sim.Millisecond, func(resp any, err error) {
+				if err == nil && b.role == boomRecovering {
+					if pong, ok := resp.(boomPong); ok && pong.Leader {
+						leaderFound = true
+						b.role = boomFollower
+						b.leader = peer
+						b.misses = 0
+						b.armPing()
+					}
+				}
+				finish()
+			})
+		}
+		if pendingChecks == 0 {
+			pendingChecks = 1
+			finish()
+		}
+	})
+}
+
+func (b *BoomFS) armBatch() {
+	b.node.After(b.params.MDS.BatchEvery, "boom-batch", func() {
+		if b.role != boomLeader {
+			return
+		}
+		if !b.replica.Leading() {
+			// Preempted by a higher ballot: stop serving and re-contend.
+			b.core.failAll(errors.New("boomfs: leadership preempted"))
+			b.role = boomRecovering
+			b.awaitLeadership()
+			return
+		}
+		if batch, ok := b.core.seal(); ok {
+			// Replication CPU cost, like any state-replication design.
+			cost := sim.Time(len(b.peers)-1) * (b.params.MDS.ReplPerBatchPerStandby +
+				sim.Time(len(batch.Records))*b.params.MDS.ReplPerRecordPerStandby)
+			now := b.node.World().Now()
+			if b.core.busyUntil < now {
+				b.core.busyUntil = now
+			}
+			b.core.busyUntil += cost
+			b.replica.Propose(&boomBatch{B: batch})
+		}
+		b.armBatch()
+	})
+}
+
+// onPaxosApply delivers a chosen batch in total order.
+func (b *BoomFS) onPaxosApply(slot uint64, v any) {
+	bb, ok := v.(*boomBatch)
+	if !ok {
+		return // paxos.Noop
+	}
+	batch := bb.B
+	if batch.SN <= b.core.log.LastSN() {
+		// Our own sealed batch (the leader applied it at execute time) or
+		// a duplicate from recovery: release the waiting clients.
+		if b.role == boomLeader {
+			b.core.commit(batch.SN)
+		}
+		return
+	}
+	if batch.SN != b.core.log.LastSN()+1 {
+		return // gap from a lost leader's log; unreachable with 3 replicas
+	}
+	if err := b.core.tree.ApplyBatch(batch); err != nil {
+		b.emit("boom-replay-divergence", "err", err.Error())
+		return
+	}
+	_ = b.core.log.Append(batch)
+	b.core.lastTx = batch.LastTx()
+	b.core.builder = journal.NewBuilder(1, b.core.log.LastSN(), b.core.lastTx)
+}
+
+// HandleMessage implements simnet.Handler.
+func (b *BoomFS) HandleMessage(from simnet.NodeID, msg any) {
+	if m, ok := msg.(paxos.Msg); ok {
+		b.replica.Deliver(string(from), m)
+	}
+}
+
+// HandleRequest implements simnet.RequestHandler.
+func (b *BoomFS) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case boomPing:
+		// A leader-elect mid-repair also claims leadership so contenders
+		// stand down while the centralized repair runs.
+		claimed := b.role == boomLeader || (b.role == boomRecovering && b.replica.Leading())
+		reply(boomPong{Leader: claimed})
+	case mams.ClientOp:
+		if b.role != boomLeader {
+			reply(mams.OpReply{NotActive: true, Hint: b.leader})
+			return
+		}
+		b.core.handleOp(m, reply, nil)
+	case mams.WhoIsActive:
+		if b.role == boomLeader {
+			reply(mams.ActiveIs{Active: b.node.ID(), Epoch: 1})
+			return
+		}
+		reply(mams.ActiveIs{})
+	default:
+		reply(nil)
+	}
+}
+
+// Crash fails the replica.
+func (b *BoomFS) Crash() {
+	b.core.failAll(errors.New("boomfs: crashed"))
+	b.node.Crash()
+	b.role = boomDead
+}

@@ -1,0 +1,340 @@
+package baselines
+
+import (
+	"errors"
+
+	"mams/internal/coord"
+	"mams/internal/journal"
+	"mams/internal/mams"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// HadoopHAParams models Hadoop HA with the Quorum Journal Manager.
+type HadoopHAParams struct {
+	MDS mams.Params
+	// JNWriteCost is one journal node's disk cost per batch.
+	JNWriteCost sim.Time
+	// JournalPerRecordCPU is the active's CPU cost to serialize one edit
+	// into the quorum write path (Hadoop HA's metadata overhead, Fig. 6).
+	JournalPerRecordCPU sim.Time
+	// TailEvery is the standby's edit-tailing period (HDFS default: the
+	// standby re-reads finalized segments every couple of seconds).
+	TailEvery sim.Time
+	// FencingCost models fencing the old active (ssh/NFS fencer).
+	FencingCost sim.Time
+	// TransitionFixed is the fixed transition-to-active work (catch-up
+	// finalization, safemode exit, DN re-registration wave).
+	TransitionFixed sim.Time
+	// Coordination failure detector (ZKFC: heartbeat 2 s, session 5 s).
+	CoordHeartbeat      sim.Time
+	CoordSessionTimeout sim.Time
+}
+
+// DefaultHadoopHAParams returns the calibration used by the experiments.
+func DefaultHadoopHAParams() HadoopHAParams {
+	return HadoopHAParams{
+		MDS:                 mams.DefaultParams(),
+		JNWriteCost:         700 * sim.Microsecond,
+		JournalPerRecordCPU: 35 * sim.Microsecond,
+		TailEvery:           2 * sim.Second,
+		FencingCost:         2500 * sim.Millisecond,
+		TransitionFixed:     7500 * sim.Millisecond,
+		CoordHeartbeat:      2 * sim.Second,
+		CoordSessionTimeout: 5 * sim.Second,
+	}
+}
+
+const haLock = "/hadoop-ha/lock"
+
+// Journal-node wire messages.
+type jnStore struct {
+	Batch journal.Batch
+}
+type jnStoreAck struct{}
+type jnReadSince struct {
+	FromSN uint64
+}
+
+// JournalNode is one QJM member.
+type JournalNode struct {
+	node     *simnet.Node
+	cost     sim.Time
+	batches  map[uint64]journal.Batch
+	lastSN   uint64
+	diskFree sim.Time
+}
+
+// NewJournalNode registers a QJM member.
+func NewJournalNode(net *simnet.Network, id simnet.NodeID, writeCost sim.Time) *JournalNode {
+	j := &JournalNode{cost: writeCost, batches: map[uint64]journal.Batch{}}
+	j.node = net.AddNode(id, j)
+	return j
+}
+
+// Node exposes the journal node process.
+func (j *JournalNode) Node() *simnet.Node { return j.node }
+
+// HandleMessage implements simnet.Handler.
+func (j *JournalNode) HandleMessage(from simnet.NodeID, msg any) {}
+
+// HandleRequest implements simnet.RequestHandler.
+func (j *JournalNode) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case jnStore:
+		now := j.node.World().Now()
+		start := j.diskFree
+		if start < now {
+			start = now
+		}
+		j.diskFree = start + j.cost
+		j.node.After(j.diskFree-now, "jn-store", func() {
+			j.batches[m.Batch.SN] = m.Batch
+			if m.Batch.SN > j.lastSN {
+				j.lastSN = m.Batch.SN
+			}
+			reply(jnStoreAck{})
+		})
+	case jnReadSince:
+		var out []journal.Batch
+		for sn := m.FromSN; sn <= j.lastSN; sn++ {
+			if b, ok := j.batches[sn]; ok {
+				out = append(out, b)
+			} else {
+				break
+			}
+		}
+		reply(avBatches{Batches: out})
+	default:
+		reply(nil)
+	}
+}
+
+type haRole uint8
+
+const (
+	haActive haRole = iota + 1
+	haStandby
+	haRecovering
+	haDead
+)
+
+// HANameNode is one Hadoop HA NameNode with an embedded ZKFC.
+type HANameNode struct {
+	node     *simnet.Node
+	core     *nsCore
+	params   HadoopHAParams
+	role     haRole
+	jns      []simnet.NodeID
+	coordCli *coord.Client
+	tr       *trace.Log
+	tailing  bool
+}
+
+// NewHANameNode registers one NameNode. Exactly one starts active.
+func NewHANameNode(net *simnet.Network, id simnet.NodeID, jns []simnet.NodeID, active bool,
+	coordServers []simnet.NodeID, params HadoopHAParams, tr *trace.Log) *HANameNode {
+	n := &HANameNode{params: params, jns: jns, tr: tr}
+	n.node = net.AddNode(id, n)
+	n.core = newNSCore(n.node, params.MDS)
+	if active {
+		n.role = haActive
+	} else {
+		n.role = haStandby
+	}
+	n.coordCli = coord.NewClient(n.node, coord.ClientConfig{
+		Servers:        coordServers,
+		SessionTimeout: params.CoordSessionTimeout,
+		HeartbeatEvery: params.CoordHeartbeat,
+	}, n.onCoordEvent)
+	return n
+}
+
+// Start boots the ZKFC session and role duties.
+func (n *HANameNode) Start() {
+	n.coordCli.Start(func(err error) {
+		if err != nil {
+			n.node.After(sim.Second, "ha-coord-retry", n.Start)
+			return
+		}
+		n.coordCli.Create("/hadoop-ha", nil, func(string, error) {
+			if n.role == haActive {
+				n.coordCli.CreateEphemeral(haLock, []byte(n.node.ID()), func(string, error) {
+					n.armBatch()
+				})
+				return
+			}
+			n.coordCli.Exists(haLock, true, func(bool, error) {})
+			n.armTail()
+		})
+	})
+}
+
+// Node exposes the simulated process.
+func (n *HANameNode) Node() *simnet.Node { return n.node }
+
+// IsActive reports whether this NameNode serves clients.
+func (n *HANameNode) IsActive() bool { return n.role == haActive }
+
+// CommittedSN returns the highest quorum-durable journal batch.
+func (n *HANameNode) CommittedSN() uint64 { return n.core.committed }
+
+func (n *HANameNode) emit(what string, args ...string) {
+	if n.tr != nil {
+		n.tr.Emit(trace.KindFailover, string(n.node.ID()), what, args...)
+	}
+}
+
+func (n *HANameNode) quorum() int { return len(n.jns)/2 + 1 }
+
+func (n *HANameNode) armBatch() {
+	n.node.After(n.params.MDS.BatchEvery, "ha-batch", func() {
+		if n.role != haActive {
+			return
+		}
+		if b, ok := n.core.seal(); ok {
+			sn := b.SN
+			now := n.node.World().Now()
+			if n.core.busyUntil < now {
+				n.core.busyUntil = now
+			}
+			n.core.busyUntil += sim.Time(len(b.Records)) * n.params.JournalPerRecordCPU
+			acks := 0
+			committed := false
+			for _, jn := range n.jns {
+				n.node.Call(jn, jnStore{Batch: b}, 10*sim.Second, func(resp any, err error) {
+					if err != nil || committed {
+						return
+					}
+					acks++
+					if acks >= n.quorum() {
+						committed = true
+						n.core.commit(sn)
+					}
+				})
+			}
+		}
+		n.armBatch()
+	})
+}
+
+func (n *HANameNode) armTail() {
+	if n.tailing {
+		return
+	}
+	n.tailing = true
+	var loop func()
+	loop = func() {
+		if n.role != haStandby && n.role != haRecovering {
+			n.tailing = false
+			return
+		}
+		n.tailOnce(0, func() {
+			n.node.After(n.params.TailEvery, "ha-tail", loop)
+		})
+	}
+	n.node.After(n.params.TailEvery, "ha-tail", loop)
+}
+
+// tailOnce reads the edit tail from a journal node (rotating on failure).
+func (n *HANameNode) tailOnce(jnIdx int, done func()) {
+	if jnIdx >= len(n.jns) {
+		done()
+		return
+	}
+	n.node.Call(n.jns[jnIdx], jnReadSince{FromSN: n.core.log.LastSN() + 1}, 5*sim.Second,
+		func(resp any, err error) {
+			if err != nil {
+				n.tailOnce(jnIdx+1, done)
+				return
+			}
+			if bs, ok := resp.(avBatches); ok {
+				for _, b := range bs.Batches {
+					if b.SN != n.core.log.LastSN()+1 {
+						continue
+					}
+					if aerr := n.core.tree.ApplyBatch(b); aerr == nil {
+						_ = n.core.log.Append(b)
+						n.core.builder = journal.NewBuilder(1, n.core.log.LastSN(), b.LastTx())
+					}
+				}
+			}
+			done()
+		})
+}
+
+func (n *HANameNode) onCoordEvent(ev coord.WatchEvent) {
+	switch ev.Type {
+	case coord.EventDeleted:
+		if ev.Path == haLock && n.role == haStandby {
+			n.takeover()
+		}
+	case coord.EventSessionExpired:
+		if n.role == haActive {
+			n.role = haDead
+			n.core.failAll(errors.New("hadoopha: session expired"))
+		}
+	case coord.EventCreated, coord.EventDataChanged:
+		if ev.Path == haLock && n.role == haStandby {
+			n.coordCli.Exists(haLock, true, func(bool, error) {})
+		}
+	}
+}
+
+// takeover is the ZKFC failover: acquire the lock, fence the old active,
+// finalize and catch up the edit tail, then transition to active.
+func (n *HANameNode) takeover() {
+	n.coordCli.CreateEphemeral(haLock, []byte(n.node.ID()), func(_ string, err error) {
+		if err != nil {
+			n.coordCli.Exists(haLock, true, func(bool, error) {})
+			return
+		}
+		n.role = haRecovering
+		n.emit("ha-takeover-start")
+		n.node.After(n.params.FencingCost, "ha-fencing", func() {
+			n.tailOnce(0, func() {
+				n.node.After(n.params.TransitionFixed, "ha-transition", func() {
+					if n.role != haRecovering {
+						return
+					}
+					n.role = haActive
+					n.emit("ha-takeover-done")
+					n.armBatch()
+				})
+			})
+		})
+	})
+}
+
+// HandleMessage implements simnet.Handler.
+func (n *HANameNode) HandleMessage(from simnet.NodeID, msg any) {
+	n.coordCli.MaybeHandle(from, msg)
+}
+
+// HandleRequest implements simnet.RequestHandler.
+func (n *HANameNode) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case mams.ClientOp:
+		if n.role != haActive {
+			reply(mams.OpReply{NotActive: true})
+			return
+		}
+		n.core.handleOp(m, reply, nil)
+	case mams.WhoIsActive:
+		if n.role == haActive {
+			reply(mams.ActiveIs{Active: n.node.ID(), Epoch: 1})
+			return
+		}
+		reply(mams.ActiveIs{})
+	default:
+		reply(nil)
+	}
+}
+
+// Crash fails the NameNode.
+func (n *HANameNode) Crash() {
+	n.core.failAll(errors.New("hadoopha: crashed"))
+	n.node.Crash()
+	n.role = haDead
+}

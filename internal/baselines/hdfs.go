@@ -1,0 +1,78 @@
+package baselines
+
+import (
+	"mams/internal/mams"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+)
+
+// HDFSParams models the vanilla NameNode's local durability path.
+type HDFSParams struct {
+	MDS mams.Params
+	// FsyncCost is the local edit-log group-commit latency per batch.
+	FsyncCost sim.Time
+}
+
+// DefaultHDFSParams returns the calibration used by the experiments.
+func DefaultHDFSParams() HDFSParams {
+	return HDFSParams{MDS: mams.DefaultParams(), FsyncCost: 800 * sim.Microsecond}
+}
+
+// HDFS is the unreplicated single-NameNode reference system: fastest
+// metadata path, no reliability mechanism whatsoever (Figures 5 and 6's
+// baseline bar).
+type HDFS struct {
+	node     *simnet.Node
+	core     *nsCore
+	params   HDFSParams
+	diskFree sim.Time
+}
+
+// NewHDFS registers the NameNode on the network and starts its batch loop.
+func NewHDFS(net *simnet.Network, id simnet.NodeID, params HDFSParams) *HDFS {
+	h := &HDFS{params: params}
+	h.node = net.AddNode(id, h)
+	h.core = newNSCore(h.node, params.MDS)
+	h.armBatch()
+	return h
+}
+
+// Node exposes the simulated process.
+func (h *HDFS) Node() *simnet.Node { return h.node }
+
+// Tree exposes the namespace for verification.
+func (h *HDFS) Tree() interface{ Files() int } { return h.core.tree }
+
+func (h *HDFS) armBatch() {
+	h.node.After(h.params.MDS.BatchEvery, "hdfs-batch", func() {
+		if b, ok := h.core.seal(); ok {
+			// Group commit: one fsync covers the whole batch.
+			now := h.node.World().Now()
+			start := h.diskFree
+			if start < now {
+				start = now
+			}
+			h.diskFree = start + h.params.FsyncCost
+			sn := b.SN
+			h.node.After(h.diskFree-now, "hdfs-fsync", func() {
+				h.core.commit(sn)
+			})
+		}
+		h.armBatch()
+	})
+}
+
+// HandleMessage implements simnet.Handler.
+func (h *HDFS) HandleMessage(from simnet.NodeID, msg any) {}
+
+// HandleRequest implements simnet.RequestHandler.
+func (h *HDFS) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case mams.ClientOp:
+		h.core.handleOp(m, reply, nil)
+	case mams.WhoIsActive:
+		reply(mams.ActiveIs{Active: h.node.ID(), Epoch: 1})
+	default:
+		reply(nil)
+	}
+}

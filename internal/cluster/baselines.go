@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mams/internal/baselines"
+	"mams/internal/blockmap"
+	"mams/internal/coord"
+	"mams/internal/fsclient"
+	"mams/internal/partition"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+)
+
+// BaselineSpec sizes a baseline deployment.
+type BaselineSpec struct {
+	// DataServers to deploy (BackupNode needs them for recollection).
+	DataServers int
+	// VirtualImageBytes models a pre-existing namespace of this size: the
+	// data servers carry the matching block population (~1 block per
+	// 150-byte image entry, the paper's "7 million files at about 1 GB").
+	VirtualImageBytes int64
+	// CoordServers for the designs that use ZooKeeper (Avatar, HadoopHA).
+	CoordServers int
+	// Replicas for Boom-FS (default 3) / JournalNodes for Hadoop HA
+	// (paper sets 4).
+	Replicas int
+}
+
+// virtualBlocksPerDN splits the modeled block population across the DNs.
+func (s BaselineSpec) virtualBlocksPerDN() int64 {
+	if s.DataServers == 0 || s.VirtualImageBytes == 0 {
+		return 0
+	}
+	return s.VirtualImageBytes / 150 / int64(s.DataServers)
+}
+
+func buildDataServers(env *Env, name string, spec BaselineSpec, targets []simnet.NodeID) []*blockmap.DataServer {
+	var out []*blockmap.DataServer
+	for d := 0; d < spec.DataServers; d++ {
+		ds := blockmap.NewDataServer(env.Net, NodeID("dn", name, d), blockmap.DefaultParams(), targets)
+		ds.SetVirtualBlocks(spec.virtualBlocksPerDN())
+		ds.Start()
+		out = append(out, ds)
+	}
+	return out
+}
+
+// ---- vanilla HDFS ----
+
+// HDFSSystem is the unreplicated single-NameNode deployment.
+type HDFSSystem struct {
+	env       *Env
+	NN        *baselines.HDFS
+	part      *partition.Partitioner
+	ids       [][]simnet.NodeID
+	clientSeq int
+}
+
+// BuildHDFS deploys a vanilla NameNode.
+func BuildHDFS(env *Env, spec BaselineSpec) *HDFSSystem {
+	s := &HDFSSystem{env: env, part: partition.New(1)}
+	id := NodeID("hdfs", "nn")
+	s.NN = baselines.NewHDFS(env.Net, id, baselines.DefaultHDFSParams())
+	s.ids = [][]simnet.NodeID{{id}}
+	buildDataServers(env, "hdfs", spec, []simnet.NodeID{id})
+	return s
+}
+
+func (s *HDFSSystem) Name() string                        { return "HDFS" }
+func (s *HDFSSystem) GroupIDs() [][]simnet.NodeID         { return s.ids }
+func (s *HDFSSystem) Partitioner() *partition.Partitioner { return s.part }
+func (s *HDFSSystem) AwaitReady(d sim.Time) bool          { s.env.RunFor(100 * sim.Millisecond); return true }
+func (s *HDFSSystem) CrashPrimary()                       { s.NN.Node().Crash() }
+func (s *HDFSSystem) PrimaryUp() bool                     { return s.NN.Node().Up() }
+func (s *HDFSSystem) NewClient(onResult func(fsclient.Result)) *fsclient.Client {
+	return newSystemClient(s.env, &s.clientSeq, s, onResult)
+}
+
+// ---- HDFS BackupNode ----
+
+// BackupNodeSystem is the primary/backup pair.
+type BackupNodeSystem struct {
+	env       *Env
+	Primary   *baselines.BackupNode
+	Backup    *baselines.BackupNode
+	part      *partition.Partitioner
+	ids       [][]simnet.NodeID
+	clientSeq int
+}
+
+// BuildBackupNode deploys the pair plus data servers.
+func BuildBackupNode(env *Env, spec BaselineSpec) *BackupNodeSystem {
+	s := &BackupNodeSystem{env: env, part: partition.New(1)}
+	pID, bID := NodeID("bn", "primary"), NodeID("bn", "backup")
+	var dnIDs []simnet.NodeID
+	for d := 0; d < spec.DataServers; d++ {
+		dnIDs = append(dnIDs, NodeID("dn", "bn", d))
+	}
+	params := baselines.DefaultBackupNodeParams()
+	s.Primary = baselines.NewBackupNode(env.Net, pID, bID, true, dnIDs, params, env.Trace)
+	s.Backup = baselines.NewBackupNode(env.Net, bID, pID, false, dnIDs, params, env.Trace)
+	s.ids = [][]simnet.NodeID{{pID, bID}}
+	// Data servers report only to the primary: the backup must re-collect
+	// on takeover (the design's defining weakness).
+	buildDataServers(env, "bn", spec, []simnet.NodeID{pID})
+	return s
+}
+
+func (s *BackupNodeSystem) Name() string                        { return "BackupNode" }
+func (s *BackupNodeSystem) GroupIDs() [][]simnet.NodeID         { return s.ids }
+func (s *BackupNodeSystem) Partitioner() *partition.Partitioner { return s.part }
+func (s *BackupNodeSystem) AwaitReady(d sim.Time) bool {
+	s.env.RunFor(100 * sim.Millisecond)
+	return true
+}
+func (s *BackupNodeSystem) CrashPrimary() {
+	if s.Primary.IsPrimary() {
+		s.Primary.Crash()
+		return
+	}
+	s.Backup.Crash()
+}
+func (s *BackupNodeSystem) PrimaryUp() bool {
+	return (s.Primary.Node().Up() && s.Primary.IsPrimary()) ||
+		(s.Backup.Node().Up() && s.Backup.IsPrimary())
+}
+func (s *BackupNodeSystem) NewClient(onResult func(fsclient.Result)) *fsclient.Client {
+	return newSystemClient(s.env, &s.clientSeq, s, onResult)
+}
+
+// ---- AvatarNode ----
+
+// AvatarSystem is the Facebook AvatarNode deployment.
+type AvatarSystem struct {
+	env       *Env
+	Active    *baselines.Avatar
+	Standby   *baselines.Avatar
+	Filer     *baselines.AvatarFiler
+	Coord     *coord.Ensemble
+	part      *partition.Partitioner
+	ids       [][]simnet.NodeID
+	clientSeq int
+}
+
+// BuildAvatar deploys two avatars, the NFS filer, and a coordination
+// ensemble for failure detection.
+func BuildAvatar(env *Env, spec BaselineSpec) *AvatarSystem {
+	if spec.CoordServers == 0 {
+		spec.CoordServers = 3
+	}
+	s := &AvatarSystem{env: env, part: partition.New(1)}
+	s.Coord = coord.StartEnsemble(env.Net, spec.CoordServers, env.Trace)
+	params := baselines.DefaultAvatarParams()
+	s.Filer = baselines.NewAvatarFiler(env.Net, NodeID("avatar", "filer"), params.FilerAppendCost)
+	aID, sID := NodeID("avatar", "nn0"), NodeID("avatar", "nn1")
+	s.Active = baselines.NewAvatar(env.Net, aID, s.Filer.Node().ID(), true, s.Coord.IDs, params, env.Trace)
+	s.Standby = baselines.NewAvatar(env.Net, sID, s.Filer.Node().ID(), false, s.Coord.IDs, params, env.Trace)
+	s.Active.Start()
+	s.Standby.Start()
+	s.ids = [][]simnet.NodeID{{aID, sID}}
+	// AvatarNode datanodes "talk to both the active and standby metadata
+	// servers", so the standby is hot with respect to block locations.
+	buildDataServers(env, "avatar", spec, []simnet.NodeID{aID, sID})
+	return s
+}
+
+func (s *AvatarSystem) Name() string                        { return "Hadoop Avatar" }
+func (s *AvatarSystem) GroupIDs() [][]simnet.NodeID         { return s.ids }
+func (s *AvatarSystem) Partitioner() *partition.Partitioner { return s.part }
+func (s *AvatarSystem) AwaitReady(d sim.Time) bool {
+	end := s.env.Now() + d
+	for s.env.Now() < end {
+		if s.PrimaryUp() {
+			return true
+		}
+		s.env.RunFor(200 * sim.Millisecond)
+	}
+	return s.PrimaryUp()
+}
+func (s *AvatarSystem) CrashPrimary() {
+	if s.Active.IsActive() {
+		s.Active.Crash()
+		return
+	}
+	s.Standby.Crash()
+}
+func (s *AvatarSystem) PrimaryUp() bool {
+	return (s.Active.Node().Up() && s.Active.IsActive()) ||
+		(s.Standby.Node().Up() && s.Standby.IsActive())
+}
+func (s *AvatarSystem) NewClient(onResult func(fsclient.Result)) *fsclient.Client {
+	return newSystemClient(s.env, &s.clientSeq, s, onResult)
+}
+
+// ---- Hadoop HA (QJM) ----
+
+// HadoopHASystem is the QJM + ZKFC deployment.
+type HadoopHASystem struct {
+	env       *Env
+	NN0       *baselines.HANameNode
+	NN1       *baselines.HANameNode
+	JNs       []*baselines.JournalNode
+	Coord     *coord.Ensemble
+	part      *partition.Partitioner
+	ids       [][]simnet.NodeID
+	clientSeq int
+}
+
+// BuildHadoopHA deploys two NameNodes, the journal nodes (paper: 4) and a
+// coordination ensemble for the ZKFCs.
+func BuildHadoopHA(env *Env, spec BaselineSpec) *HadoopHASystem {
+	if spec.CoordServers == 0 {
+		spec.CoordServers = 3
+	}
+	jns := spec.Replicas
+	if jns == 0 {
+		jns = 4 // "the number of JournalNodes was set to 4"
+	}
+	s := &HadoopHASystem{env: env, part: partition.New(1)}
+	s.Coord = coord.StartEnsemble(env.Net, spec.CoordServers, env.Trace)
+	params := baselines.DefaultHadoopHAParams()
+	var jnIDs []simnet.NodeID
+	for i := 0; i < jns; i++ {
+		jn := baselines.NewJournalNode(env.Net, NodeID("ha", "jn", i), params.JNWriteCost)
+		s.JNs = append(s.JNs, jn)
+		jnIDs = append(jnIDs, jn.Node().ID())
+	}
+	n0, n1 := NodeID("ha", "nn0"), NodeID("ha", "nn1")
+	s.NN0 = baselines.NewHANameNode(env.Net, n0, jnIDs, true, s.Coord.IDs, params, env.Trace)
+	s.NN1 = baselines.NewHANameNode(env.Net, n1, jnIDs, false, s.Coord.IDs, params, env.Trace)
+	s.NN0.Start()
+	s.NN1.Start()
+	s.ids = [][]simnet.NodeID{{n0, n1}}
+	buildDataServers(env, "ha", spec, []simnet.NodeID{n0, n1})
+	return s
+}
+
+func (s *HadoopHASystem) Name() string                        { return "Hadoop HA" }
+func (s *HadoopHASystem) GroupIDs() [][]simnet.NodeID         { return s.ids }
+func (s *HadoopHASystem) Partitioner() *partition.Partitioner { return s.part }
+func (s *HadoopHASystem) AwaitReady(d sim.Time) bool {
+	end := s.env.Now() + d
+	for s.env.Now() < end {
+		if s.PrimaryUp() {
+			return true
+		}
+		s.env.RunFor(200 * sim.Millisecond)
+	}
+	return s.PrimaryUp()
+}
+func (s *HadoopHASystem) CrashPrimary() {
+	if s.NN0.IsActive() {
+		s.NN0.Crash()
+		return
+	}
+	s.NN1.Crash()
+}
+func (s *HadoopHASystem) PrimaryUp() bool {
+	return (s.NN0.Node().Up() && s.NN0.IsActive()) || (s.NN1.Node().Up() && s.NN1.IsActive())
+}
+func (s *HadoopHASystem) NewClient(onResult func(fsclient.Result)) *fsclient.Client {
+	return newSystemClient(s.env, &s.clientSeq, s, onResult)
+}
+
+// ---- Boom-FS ----
+
+// BoomFSSystem is the Paxos-replicated metadata deployment.
+type BoomFSSystem struct {
+	env       *Env
+	Replicas  []*baselines.BoomFS
+	part      *partition.Partitioner
+	ids       [][]simnet.NodeID
+	clientSeq int
+}
+
+// BuildBoomFS deploys n (default 3) replicas.
+func BuildBoomFS(env *Env, spec BaselineSpec) *BoomFSSystem {
+	n := spec.Replicas
+	if n == 0 {
+		n = 3
+	}
+	s := &BoomFSSystem{env: env, part: partition.New(1)}
+	var ids []simnet.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, NodeID("boom", fmt.Sprint(i)))
+	}
+	for _, id := range ids {
+		r := baselines.NewBoomFS(env.Net, id, ids, baselines.DefaultBoomFSParams(), env.Trace)
+		s.Replicas = append(s.Replicas, r)
+	}
+	for _, r := range s.Replicas {
+		r.Start()
+	}
+	s.ids = [][]simnet.NodeID{ids}
+	buildDataServers(env, "boom", spec, ids)
+	return s
+}
+
+func (s *BoomFSSystem) Name() string                        { return "Boom-FS" }
+func (s *BoomFSSystem) GroupIDs() [][]simnet.NodeID         { return s.ids }
+func (s *BoomFSSystem) Partitioner() *partition.Partitioner { return s.part }
+func (s *BoomFSSystem) AwaitReady(d sim.Time) bool {
+	end := s.env.Now() + d
+	for s.env.Now() < end {
+		if s.PrimaryUp() {
+			return true
+		}
+		s.env.RunFor(200 * sim.Millisecond)
+	}
+	return s.PrimaryUp()
+}
+func (s *BoomFSSystem) Leader() *baselines.BoomFS {
+	for _, r := range s.Replicas {
+		if r.Node().Up() && r.IsLeader() {
+			return r
+		}
+	}
+	return nil
+}
+func (s *BoomFSSystem) CrashPrimary() {
+	if l := s.Leader(); l != nil {
+		l.Crash()
+	}
+}
+func (s *BoomFSSystem) PrimaryUp() bool { return s.Leader() != nil }
+func (s *BoomFSSystem) NewClient(onResult func(fsclient.Result)) *fsclient.Client {
+	return newSystemClient(s.env, &s.clientSeq, s, onResult)
+}
+
+// ---- MAMS adapter ----
+
+// MAMSSystem adapts MAMSCluster to the System interface.
+type MAMSSystem struct {
+	*MAMSCluster
+	label string
+}
+
+// AsSystem wraps a MAMS cluster for the uniform experiment driver. The
+// label follows the paper's naming (e.g. "MAMS-1A3S").
+func (c *MAMSCluster) AsSystem() *MAMSSystem {
+	label := fmt.Sprintf("MAMS-%dA%dS", c.Spec.Groups, c.Spec.Groups*c.Spec.BackupsPerGroup)
+	return &MAMSSystem{MAMSCluster: c, label: label}
+}
+
+func (s *MAMSSystem) Name() string                        { return s.label }
+func (s *MAMSSystem) GroupIDs() [][]simnet.NodeID         { return s.MAMSCluster.GroupIDs }
+func (s *MAMSSystem) Partitioner() *partition.Partitioner { return s.Part }
+func (s *MAMSSystem) AwaitReady(d sim.Time) bool          { return s.AwaitStable(d) }
+func (s *MAMSSystem) CrashPrimary() {
+	if a := s.ActiveOf(0); a != nil {
+		a.Shutdown()
+	}
+}
+func (s *MAMSSystem) PrimaryUp() bool { return s.ActiveOf(0) != nil }

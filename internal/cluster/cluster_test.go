@@ -1,0 +1,243 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/mams"
+	"mams/internal/sim"
+	"mams/internal/workload"
+)
+
+func TestNewEnvDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		env := cluster.NewEnv(9)
+		c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2})
+		c.AwaitStable(30 * sim.Second)
+		return env.Now()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different stabilization time")
+	}
+}
+
+func TestAllSystemsImplementSystemAndServe(t *testing.T) {
+	builders := map[string]func(env *cluster.Env) cluster.System{
+		"hdfs":       func(env *cluster.Env) cluster.System { return cluster.BuildHDFS(env, cluster.BaselineSpec{}) },
+		"backupnode": func(env *cluster.Env) cluster.System { return cluster.BuildBackupNode(env, cluster.BaselineSpec{}) },
+		"avatar":     func(env *cluster.Env) cluster.System { return cluster.BuildAvatar(env, cluster.BaselineSpec{}) },
+		"hadoopha":   func(env *cluster.Env) cluster.System { return cluster.BuildHadoopHA(env, cluster.BaselineSpec{}) },
+		"boomfs":     func(env *cluster.Env) cluster.System { return cluster.BuildBoomFS(env, cluster.BaselineSpec{}) },
+		"mams": func(env *cluster.Env) cluster.System {
+			return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 1}).AsSystem()
+		},
+	}
+	seed := uint64(70)
+	for name, build := range builders {
+		seed++
+		env := cluster.NewEnv(seed)
+		sys := build(env)
+		if sys.Name() == "" {
+			t.Fatalf("%s: empty name", name)
+		}
+		if !sys.AwaitReady(60 * sim.Second) {
+			t.Fatalf("%s never became ready", name)
+		}
+		if !sys.PrimaryUp() {
+			t.Fatalf("%s: no primary after ready", name)
+		}
+		if len(sys.GroupIDs()) == 0 || sys.Partitioner() == nil {
+			t.Fatalf("%s: topology incomplete", name)
+		}
+		cli := sys.NewClient(nil)
+		okd := false
+		env.World.Defer("probe", func() {
+			cli.Mkdir("/probe", func(err error) { okd = err == nil })
+		})
+		env.RunFor(5 * sim.Second)
+		if !okd {
+			t.Fatalf("%s: probe mkdir failed", name)
+		}
+	}
+}
+
+func TestMAMSSystemLabel(t *testing.T) {
+	env := cluster.NewEnv(80)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 3, BackupsPerGroup: 3})
+	if got := c.AsSystem().Name(); got != "MAMS-3A9S" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestPoolNodesAreMDSNodes(t *testing.T) {
+	env := cluster.NewEnv(81)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 2, BackupsPerGroup: 2})
+	want := 0
+	for _, ids := range c.GroupIDs {
+		want += len(ids)
+	}
+	if len(c.PoolNodes) != want {
+		t.Fatalf("pool nodes = %d, want %d (SSP built on existing servers)", len(c.PoolNodes), want)
+	}
+}
+
+func TestBreakLockTriggersReelection(t *testing.T) {
+	env := cluster.NewEnv(82)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	old := c.ActiveOf(0)
+	c.PrepareFaultInjector()
+	env.World.Defer("break", func() { c.BreakLock(0) })
+	deadline := env.Now() + 20*sim.Second
+	for env.Now() < deadline {
+		env.RunFor(200 * sim.Millisecond)
+		if a := c.ActiveOf(0); a != nil && a != old {
+			return
+		}
+	}
+	t.Fatal("no re-election after lock break")
+}
+
+func TestBreakLockFromScheduledEvent(t *testing.T) {
+	// BreakLock must be safe when first invoked from inside the event
+	// loop (no eager injector preparation).
+	env := cluster.NewEnv(83)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	old := c.ActiveOf(0)
+	env.World.After(sim.Second, "break", func() { c.BreakLock(0) })
+	deadline := env.Now() + 25*sim.Second
+	for env.Now() < deadline {
+		env.RunFor(200 * sim.Millisecond)
+		if a := c.ActiveOf(0); a != nil && a != old {
+			return
+		}
+	}
+	t.Fatal("no re-election after in-event lock break")
+}
+
+func TestObservedRolesNeverShowTwoActives(t *testing.T) {
+	env := cluster.NewEnv(84)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	active := c.ActiveOf(0)
+	active.Node().Unplug()
+	check := func() {
+		roles := c.ObservedRoles(0)
+		actives := 0
+		for _, r := range roles {
+			if r == "A" {
+				actives++
+			}
+		}
+		if actives > 1 {
+			t.Fatalf("observed two actives: %v", roles)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		env.RunFor(200 * sim.Millisecond)
+		check()
+	}
+	// Replug: the stale claimant must not surface as a second A either.
+	active.Node().Replug()
+	for i := 0; i < 50; i++ {
+		env.RunFor(200 * sim.Millisecond)
+		check()
+	}
+}
+
+func TestVirtualImageBytesPropagate(t *testing.T) {
+	env := cluster.NewEnv(85)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{
+		Groups: 1, BackupsPerGroup: 1, VirtualImageBytes: 64 << 20,
+	})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	var done bool
+	env.World.Defer("ckpt", func() {
+		c.ActiveOf(0).Checkpoint(func(err error) { done = err == nil })
+	})
+	// A 64 MB image at ~90 MB/s disk + replication should take ~1 s; if the
+	// virtual size were ignored it would complete in microseconds.
+	env.RunFor(200 * sim.Millisecond)
+	if done {
+		t.Fatal("virtual image size ignored (checkpoint too fast)")
+	}
+	env.RunFor(10 * sim.Second)
+	if !done {
+		t.Fatal("checkpoint never completed")
+	}
+	_ = mams.RoleActive
+}
+
+func TestVerifyGroupHealthy(t *testing.T) {
+	env := cluster.NewEnv(86)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 2, BackupsPerGroup: 2})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	for _, rep := range c.Verify() {
+		if !rep.Consistent {
+			t.Fatalf("healthy cluster flagged: %s", rep)
+		}
+		if rep.ActiveID == "" || rep.Standbys != 2 {
+			t.Fatalf("unexpected census: %s", rep)
+		}
+	}
+}
+
+func TestVerifyGroupDetectsOutage(t *testing.T) {
+	env := cluster.NewEnv(87)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	c.ActiveOf(0).Shutdown()
+	env.RunFor(sim.Second) // inside the detection window: no active yet
+	rep := c.VerifyGroup(0)
+	if rep.Consistent {
+		t.Fatalf("outage not flagged: %s", rep)
+	}
+	// After failover it heals again.
+	env.RunFor(15 * sim.Second)
+	rep = c.VerifyGroup(0)
+	if !rep.Consistent {
+		t.Fatalf("post-failover still flagged: %s", rep)
+	}
+	if rep.Down != 1 {
+		t.Fatalf("down census = %d", rep.Down)
+	}
+}
+
+func TestVerifyGroupAfterChurnConverges(t *testing.T) {
+	env := cluster.NewEnv(88)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	drv := workload.NewDriver(env, c.AsSystem(), 4, nil)
+	drv.Setup(4)
+	stop := drv.Continuous(workload.CreateMkdir(), 8)
+	env.RunFor(5 * sim.Second)
+	victim := c.StandbysOf(0)[0]
+	victim.Shutdown()
+	env.RunFor(10 * sim.Second)
+	victim.Restart()
+	deadline := env.Now() + 90*sim.Second
+	for env.Now() < deadline {
+		env.RunFor(2 * sim.Second)
+		if rep := c.VerifyGroup(0); rep.Consistent && rep.Standbys == 3 {
+			stop()
+			return
+		}
+	}
+	stop()
+	t.Fatalf("never converged: %s", c.VerifyGroup(0))
+}

@@ -1,0 +1,43 @@
+package coord
+
+import (
+	"fmt"
+
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// Ensemble bundles a started coordination service.
+type Ensemble struct {
+	Servers []*Server
+	IDs     []simnet.NodeID
+}
+
+// StartEnsemble creates and starts n coordination servers named
+// coord0..coord{n-1}. The first member bootstraps leadership.
+func StartEnsemble(net *simnet.Network, n int, log *trace.Log) *Ensemble {
+	if n <= 0 {
+		panic("coord: ensemble size must be positive")
+	}
+	ids := make([]simnet.NodeID, n)
+	for i := range ids {
+		ids[i] = simnet.NodeID(fmt.Sprintf("coord%d", i))
+	}
+	e := &Ensemble{IDs: ids}
+	for i, id := range ids {
+		s := NewServer(net, ServerConfig{ID: id, Ensemble: ids, Bootstrap: i == 0}, log)
+		s.Start()
+		e.Servers = append(e.Servers, s)
+	}
+	return e
+}
+
+// Leader returns the current leader, or nil if none claims leadership.
+func (e *Ensemble) Leader() *Server {
+	for _, s := range e.Servers {
+		if s.Leading() && s.Node().Up() {
+			return s
+		}
+	}
+	return nil
+}

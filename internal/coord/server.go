@@ -1,0 +1,315 @@
+package coord
+
+import (
+	"hash/fnv"
+
+	"mams/internal/paxos"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// Wire messages between clients and servers (and server↔server announces).
+type clientRequest struct {
+	Op Op
+}
+
+type clientResponse struct {
+	Res       Result
+	NotLeader bool
+	Redirect  simnet.NodeID // best-known leader, may be empty
+}
+
+type pingRequest struct {
+	Session uint64
+}
+
+type announce struct {
+	Leader simnet.NodeID
+}
+
+// poisonRequest force-invalidates every session owned by a client node: the
+// ensemble stops honouring its heartbeats, so the session expires naturally
+// and the client is told "expired" on its next contact. Fault injection for
+// the paper's Test A ("modifying the global view to make the active lose
+// the lock").
+type poisonRequest struct {
+	Node simnet.NodeID
+}
+
+// ServerConfig configures one ensemble member.
+type ServerConfig struct {
+	ID       simnet.NodeID
+	Ensemble []simnet.NodeID // all members, including ID
+	// Bootstrap makes this member seek leadership immediately at start
+	// (typically the first member).
+	Bootstrap bool
+	// TickEvery drives Paxos retransmission and the leader watchdog.
+	// Default 50 ms.
+	TickEvery sim.Time
+	// LeaderTimeout is how long a follower waits without hearing a leader
+	// announce before trying to take over. Default 2 s.
+	LeaderTimeout sim.Time
+	// SessionCheckEvery is the leader's session-expiry scan period.
+	// Default 250 ms.
+	SessionCheckEvery sim.Time
+}
+
+func (c *ServerConfig) defaults() {
+	if c.TickEvery == 0 {
+		c.TickEvery = 50 * sim.Millisecond
+	}
+	if c.LeaderTimeout == 0 {
+		c.LeaderTimeout = 2 * sim.Second
+	}
+	if c.SessionCheckEvery == 0 {
+		c.SessionCheckEvery = 250 * sim.Millisecond
+	}
+}
+
+// Server is one coordination-ensemble member: a Paxos replica plus the
+// znode state machine, session failure detection and watch delivery.
+type Server struct {
+	cfg     ServerConfig
+	node    *simnet.Node
+	replica *paxos.Replica
+	sm      *stateMachine
+	log     *trace.Log
+
+	pending     map[uint64]func(any) // ReqID → RPC reply
+	lastHeard   map[uint64]sim.Time
+	poisoned    map[uint64]bool
+	leaderGuess simnet.NodeID
+	wasLeading  bool
+	lastLeadMsg sim.Time
+	internalSeq uint64
+	idHash      uint64
+}
+
+// NewServer creates an ensemble member and registers it on the network.
+// Call Start to begin ticking.
+func NewServer(net *simnet.Network, cfg ServerConfig, log *trace.Log) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:       cfg,
+		sm:        newStateMachine(),
+		log:       log,
+		pending:   map[uint64]func(any){},
+		lastHeard: map[uint64]sim.Time{},
+		poisoned:  map[uint64]bool{},
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	s.idHash = h.Sum64()
+	s.node = net.AddNode(cfg.ID, s)
+	peers := make([]string, len(cfg.Ensemble))
+	for i, p := range cfg.Ensemble {
+		peers[i] = string(p)
+	}
+	transport := func(to string, m paxos.Msg) { s.node.Send(simnet.NodeID(to), m) }
+	s.replica = paxos.New(paxos.Config{Self: string(cfg.ID), Peers: peers}, transport, s.onApply)
+	return s
+}
+
+// Node exposes the underlying simulated process (for fault injection).
+func (s *Server) Node() *simnet.Node { return s.node }
+
+// Leading reports whether this member currently leads the ensemble.
+func (s *Server) Leading() bool { return s.replica.Leading() }
+
+// Start arms the server's periodic timers and, if configured, seeks
+// leadership.
+func (s *Server) Start() {
+	if s.cfg.Bootstrap {
+		s.node.After(0, "coord-bootstrap", func() { s.replica.TryLead() })
+	}
+	s.lastLeadMsg = s.node.World().Now()
+	s.armTick()
+	s.armSessionCheck()
+}
+
+func (s *Server) armTick() {
+	s.node.After(s.cfg.TickEvery, "coord-tick", func() {
+		s.tick()
+		s.armTick()
+	})
+}
+
+func (s *Server) armSessionCheck() {
+	s.node.After(s.cfg.SessionCheckEvery, "coord-session-check", func() {
+		s.checkSessions()
+		s.armSessionCheck()
+	})
+}
+
+func (s *Server) tick() {
+	s.replica.Tick()
+	now := s.node.World().Now()
+	if s.replica.Leading() {
+		if !s.wasLeading {
+			// Fresh leader: give every session a full grace period and
+			// tell the world.
+			for id := range s.sm.sessions {
+				s.lastHeard[id] = now
+			}
+			if s.log != nil {
+				s.log.Emit(trace.KindCoord, string(s.cfg.ID), "ensemble-leader")
+			}
+		}
+		s.wasLeading = true
+		s.leaderGuess = s.cfg.ID
+		s.lastLeadMsg = now
+		for _, p := range s.cfg.Ensemble {
+			if p != s.cfg.ID {
+				s.node.Send(p, announce{Leader: s.cfg.ID})
+			}
+		}
+		return
+	}
+	s.wasLeading = false
+	// Follower watchdog: stagger takeover attempts by ensemble position so
+	// members do not duel.
+	stagger := sim.Time(0)
+	for i, p := range s.cfg.Ensemble {
+		if p == s.cfg.ID {
+			stagger = sim.Time(i) * 500 * sim.Millisecond
+		}
+	}
+	if now-s.lastLeadMsg > s.cfg.LeaderTimeout+stagger && !s.replica.Electing() {
+		s.replica.TryLead()
+	}
+}
+
+// checkSessions expires sessions whose client went silent (leader only).
+func (s *Server) checkSessions() {
+	if !s.replica.Leading() {
+		return
+	}
+	now := s.node.World().Now()
+	for id, sess := range s.sm.sessions {
+		last, ok := s.lastHeard[id]
+		if !ok {
+			s.lastHeard[id] = now
+			continue
+		}
+		if now-last > sim.Time(sess.timeoutNs) {
+			if s.log != nil {
+				s.log.Emit(trace.KindCoord, string(s.cfg.ID), "session-expire",
+					"session", itoa(id), "client", string(sess.clientNode))
+			}
+			op := &Op{ReqID: s.nextInternalReq(), Kind: opExpireSession, Session: id}
+			s.replica.Propose(op)
+			delete(s.lastHeard, id) // avoid re-proposing every scan
+		}
+	}
+}
+
+func (s *Server) nextInternalReq() uint64 {
+	s.internalSeq++
+	return s.idHash&0xFFFFFFFF00000000 | s.internalSeq
+}
+
+// onApply executes a committed op on the local state machine and, when this
+// server originated the request, answers the waiting client. The leader
+// also delivers fired watch events.
+func (s *Server) onApply(slot uint64, v any) {
+	op, ok := v.(*Op)
+	if !ok {
+		return // paxos.Noop gap filler
+	}
+	res, fired := s.sm.apply(op)
+	if reply, mine := s.pending[op.ReqID]; mine {
+		delete(s.pending, op.ReqID)
+		reply(clientResponse{Res: *res})
+	}
+	if s.replica.Leading() {
+		for _, fw := range fired {
+			if s.log != nil {
+				s.log.Emit(trace.KindCoord, string(s.cfg.ID), "watch-fire",
+					"to", string(fw.client), "path", fw.event.Path, "type", fw.event.Type.String())
+			}
+			s.node.Send(fw.client, fw.event)
+		}
+	}
+}
+
+// HandleMessage implements simnet.Handler: paxos traffic and announces.
+func (s *Server) HandleMessage(from simnet.NodeID, msg any) {
+	switch m := msg.(type) {
+	case paxos.Msg:
+		s.replica.Deliver(string(from), m)
+	case announce:
+		s.leaderGuess = m.Leader
+		s.lastLeadMsg = s.node.World().Now()
+	}
+}
+
+// HandleRequest implements simnet.RequestHandler: client RPCs.
+func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	switch m := req.(type) {
+	case pingRequest:
+		if !s.replica.Leading() {
+			reply(clientResponse{NotLeader: true, Redirect: s.leaderGuess})
+			return
+		}
+		if s.sm.sessions[m.Session] == nil || s.poisoned[m.Session] {
+			reply(clientResponse{Res: Result{Err: encodeErr(ErrSessionExpired)}})
+			return
+		}
+		s.lastHeard[m.Session] = s.node.World().Now()
+		reply(clientResponse{})
+	case poisonRequest:
+		if !s.replica.Leading() {
+			reply(clientResponse{NotLeader: true, Redirect: s.leaderGuess})
+			return
+		}
+		for id, sess := range s.sm.sessions {
+			if sess.clientNode == m.Node {
+				s.poisoned[id] = true
+			}
+		}
+		reply(clientResponse{})
+	case clientRequest:
+		if !s.replica.Leading() {
+			reply(clientResponse{NotLeader: true, Redirect: s.leaderGuess})
+			return
+		}
+		op := m.Op
+		if op.Session != 0 && s.poisoned[op.Session] {
+			reply(clientResponse{Res: Result{Err: encodeErr(ErrSessionExpired)}})
+			return
+		}
+		if op.Session != 0 {
+			if s.sm.sessions[op.Session] == nil {
+				if _, seen := s.sm.applied[op.ReqID]; !seen {
+					reply(clientResponse{Res: Result{Err: encodeErr(ErrSessionExpired)}})
+					return
+				}
+			} else {
+				s.lastHeard[op.Session] = s.node.World().Now()
+			}
+		}
+		if cached, dup := s.sm.applied[op.ReqID]; dup {
+			reply(clientResponse{Res: *cached})
+			return
+		}
+		s.pending[op.ReqID] = reply
+		s.replica.Propose(&op)
+	default:
+		reply(clientResponse{Res: Result{Err: "coord: bad request"}})
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

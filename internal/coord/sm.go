@@ -1,0 +1,426 @@
+// Package coord implements the coordination service MAMS depends on: a
+// ZooKeeper-like hierarchical store of znodes with ephemeral nodes,
+// sessions, one-shot watches and compare-and-set updates, replicated across
+// an ensemble with the Paxos log from internal/paxos.
+//
+// The paper's prototype used ZooKeeper "to monitor nodes, trigger events and
+// maintain the consistent global view"; this package plays exactly that
+// role: the MAMS global view, the per-group distributed lock, and the
+// failure detector (session expiry after the configured timeout) all live
+// here.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mams/internal/simnet"
+)
+
+// Service errors. They cross the simulated wire as error codes and are
+// rehydrated to these exact values on the client.
+var (
+	ErrNoNode         = errors.New("coord: no such znode")
+	ErrNodeExists     = errors.New("coord: znode already exists")
+	ErrNotEmpty       = errors.New("coord: znode has children")
+	ErrBadVersion     = errors.New("coord: version mismatch")
+	ErrSessionExpired = errors.New("coord: session expired")
+	ErrBadPath        = errors.New("coord: invalid path")
+	ErrNoQuorum       = errors.New("coord: cannot reach ensemble")
+)
+
+var errCodes = map[string]error{
+	ErrNoNode.Error():         ErrNoNode,
+	ErrNodeExists.Error():     ErrNodeExists,
+	ErrNotEmpty.Error():       ErrNotEmpty,
+	ErrBadVersion.Error():     ErrBadVersion,
+	ErrSessionExpired.Error(): ErrSessionExpired,
+	ErrBadPath.Error():        ErrBadPath,
+}
+
+func decodeErr(code string) error {
+	if code == "" {
+		return nil
+	}
+	if err, ok := errCodes[code]; ok {
+		return err
+	}
+	return errors.New(code)
+}
+
+func encodeErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// EventType classifies watch notifications.
+type EventType uint8
+
+// Watch event types (ZooKeeper-style).
+const (
+	EventCreated EventType = iota + 1
+	EventDeleted
+	EventDataChanged
+	EventChildrenChanged
+	EventSessionExpired // local event: this client's own session died
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventCreated:
+		return "created"
+	case EventDeleted:
+		return "deleted"
+	case EventDataChanged:
+		return "data-changed"
+	case EventChildrenChanged:
+		return "children-changed"
+	case EventSessionExpired:
+		return "session-expired"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// WatchEvent is delivered to clients when a one-shot watch fires.
+type WatchEvent struct {
+	Path string
+	Type EventType
+}
+
+// OpKind enumerates state-machine operations.
+type OpKind uint8
+
+// State-machine operation kinds.
+const (
+	opCreateSession OpKind = iota + 1
+	opExpireSession
+	opCloseSession
+	opCreate
+	opDelete
+	opSetData
+	opGetData
+	opExists
+	opChildren
+)
+
+// Op is the unit replicated through Paxos. Ops are proposed as pointers
+// (comparable identity) and deduplicated by ReqID, so a retried request
+// applies exactly once.
+type Op struct {
+	ReqID      uint64
+	Kind       OpKind
+	Session    uint64
+	Path       string
+	Data       []byte
+	Ephemeral  bool
+	Sequential bool
+	Version    int64 // expected version for SetData/Delete; -1 = any
+	Watch      bool  // register a one-shot watch (reads) / child watch (children)
+
+	// CreateSession fields.
+	ClientNode simnet.NodeID
+	TimeoutNs  int64
+}
+
+// Result is the outcome of applying an Op.
+type Result struct {
+	Err      string
+	Path     string // created path (sequential nodes get a suffix)
+	Data     []byte
+	Version  int64
+	Exists   bool
+	Children []string
+	Session  uint64
+}
+
+type watchKind uint8
+
+const (
+	watchNode     watchKind = iota + 1 // create/delete/data change of the path
+	watchChildren                      // child added/removed under the path
+)
+
+type watchKey struct {
+	session uint64
+	kind    watchKind
+}
+
+type znode struct {
+	data       []byte
+	version    int64
+	owner      uint64 // ephemeral owner session, 0 if persistent
+	children   map[string]bool
+	seqCounter uint64
+}
+
+type sessionState struct {
+	id         uint64
+	clientNode simnet.NodeID
+	timeoutNs  int64
+	ephemerals map[string]bool
+}
+
+// firedWatch pairs a watch event with the client that must receive it.
+type firedWatch struct {
+	session uint64
+	client  simnet.NodeID
+	event   WatchEvent
+}
+
+// stateMachine is the deterministic replicated state. Every ensemble member
+// applies the same op sequence and stays byte-identical.
+type stateMachine struct {
+	nodes       map[string]*znode
+	sessions    map[uint64]*sessionState
+	watches     map[string]map[watchKey]bool
+	nextSession uint64
+	applied     map[uint64]*Result // ReqID → cached result (exactly-once)
+}
+
+func newStateMachine() *stateMachine {
+	sm := &stateMachine{
+		nodes:    map[string]*znode{"/": {children: map[string]bool{}}},
+		sessions: map[uint64]*sessionState{},
+		watches:  map[string]map[watchKey]bool{},
+		applied:  map[uint64]*Result{},
+	}
+	return sm
+}
+
+func parentPath(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func validPath(p string) bool {
+	if p == "/" {
+		return true
+	}
+	if !strings.HasPrefix(p, "/") || strings.HasSuffix(p, "/") || strings.Contains(p, "//") {
+		return false
+	}
+	return true
+}
+
+// sessionAlive reports whether id names a live session (watches may only
+// be registered by live sessions; a dead session's watch would leak).
+func (sm *stateMachine) sessionAlive(id uint64) bool {
+	return id != 0 && sm.sessions[id] != nil
+}
+
+// addWatch registers a one-shot watch.
+func (sm *stateMachine) addWatch(path string, kind watchKind, session uint64) {
+	m, ok := sm.watches[path]
+	if !ok {
+		m = map[watchKey]bool{}
+		sm.watches[path] = m
+	}
+	m[watchKey{session: session, kind: kind}] = true
+}
+
+// fire collects and removes watches of the given kind on path.
+func (sm *stateMachine) fire(path string, kind watchKind, typ EventType, out *[]firedWatch) {
+	m := sm.watches[path]
+	if len(m) == 0 {
+		return
+	}
+	var keys []watchKey
+	for k := range m {
+		if k.kind == kind {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].session < keys[j].session })
+	for _, k := range keys {
+		delete(m, k)
+		sess := sm.sessions[k.session]
+		if sess == nil {
+			continue
+		}
+		*out = append(*out, firedWatch{session: k.session, client: sess.clientNode, event: WatchEvent{Path: path, Type: typ}})
+	}
+	if len(m) == 0 {
+		delete(sm.watches, path)
+	}
+}
+
+// apply executes op, returning its result and the watches it fired.
+// It is deterministic and idempotent per ReqID.
+func (sm *stateMachine) apply(op *Op) (*Result, []firedWatch) {
+	if cached, dup := sm.applied[op.ReqID]; dup {
+		return cached, nil
+	}
+	res, fired := sm.applyFresh(op)
+	sm.applied[op.ReqID] = res
+	return res, fired
+}
+
+func (sm *stateMachine) applyFresh(op *Op) (*Result, []firedWatch) {
+	var fired []firedWatch
+	switch op.Kind {
+	case opCreateSession:
+		sm.nextSession++
+		id := sm.nextSession
+		sm.sessions[id] = &sessionState{
+			id: id, clientNode: op.ClientNode, timeoutNs: op.TimeoutNs,
+			ephemerals: map[string]bool{},
+		}
+		return &Result{Session: id}, nil
+
+	case opExpireSession, opCloseSession:
+		sess := sm.sessions[op.Session]
+		if sess == nil {
+			return &Result{}, nil // already gone; idempotent
+		}
+		paths := make([]string, 0, len(sess.ephemerals))
+		for p := range sess.ephemerals {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			sm.deleteNode(p, &fired)
+		}
+		// Drop the session's remaining watches.
+		for path, m := range sm.watches {
+			for k := range m {
+				if k.session == op.Session {
+					delete(m, k)
+				}
+			}
+			if len(m) == 0 {
+				delete(sm.watches, path)
+			}
+		}
+		delete(sm.sessions, op.Session)
+		return &Result{}, fired
+
+	case opCreate:
+		if !validPath(op.Path) || op.Path == "/" {
+			return &Result{Err: encodeErr(ErrBadPath)}, nil
+		}
+		if op.Session != 0 && sm.sessions[op.Session] == nil {
+			return &Result{Err: encodeErr(ErrSessionExpired)}, nil
+		}
+		parent := sm.nodes[parentPath(op.Path)]
+		if parent == nil {
+			return &Result{Err: encodeErr(ErrNoNode)}, nil
+		}
+		path := op.Path
+		if op.Sequential {
+			parent.seqCounter++
+			path = fmt.Sprintf("%s%010d", op.Path, parent.seqCounter)
+		}
+		if sm.nodes[path] != nil {
+			return &Result{Err: encodeErr(ErrNodeExists)}, nil
+		}
+		n := &znode{data: append([]byte(nil), op.Data...), children: map[string]bool{}}
+		if op.Ephemeral {
+			if op.Session == 0 {
+				return &Result{Err: encodeErr(ErrSessionExpired)}, nil
+			}
+			n.owner = op.Session
+			sm.sessions[op.Session].ephemerals[path] = true
+		}
+		sm.nodes[path] = n
+		parent.children[path] = true
+		sm.fire(path, watchNode, EventCreated, &fired)
+		sm.fire(parentPath(path), watchChildren, EventChildrenChanged, &fired)
+		return &Result{Path: path}, fired
+
+	case opDelete:
+		n := sm.nodes[op.Path]
+		if n == nil || op.Path == "/" {
+			return &Result{Err: encodeErr(ErrNoNode)}, nil
+		}
+		if len(n.children) > 0 {
+			return &Result{Err: encodeErr(ErrNotEmpty)}, nil
+		}
+		if op.Version >= 0 && n.version != op.Version {
+			return &Result{Err: encodeErr(ErrBadVersion)}, nil
+		}
+		sm.deleteNode(op.Path, &fired)
+		return &Result{}, fired
+
+	case opSetData:
+		n := sm.nodes[op.Path]
+		if n == nil {
+			return &Result{Err: encodeErr(ErrNoNode)}, nil
+		}
+		if op.Version >= 0 && n.version != op.Version {
+			return &Result{Err: encodeErr(ErrBadVersion), Version: n.version}, nil
+		}
+		n.data = append([]byte(nil), op.Data...)
+		n.version++
+		sm.fire(op.Path, watchNode, EventDataChanged, &fired)
+		return &Result{Version: n.version}, fired
+
+	case opGetData:
+		n := sm.nodes[op.Path]
+		if n == nil {
+			if op.Watch && sm.sessionAlive(op.Session) {
+				sm.addWatch(op.Path, watchNode, op.Session)
+			}
+			return &Result{Err: encodeErr(ErrNoNode)}, nil
+		}
+		if op.Watch && sm.sessionAlive(op.Session) {
+			sm.addWatch(op.Path, watchNode, op.Session)
+		}
+		return &Result{Data: append([]byte(nil), n.data...), Version: n.version}, nil
+
+	case opExists:
+		n := sm.nodes[op.Path]
+		if op.Watch && sm.sessionAlive(op.Session) {
+			sm.addWatch(op.Path, watchNode, op.Session)
+		}
+		if n == nil {
+			return &Result{Exists: false}, nil
+		}
+		return &Result{Exists: true, Version: n.version}, nil
+
+	case opChildren:
+		n := sm.nodes[op.Path]
+		if n == nil {
+			return &Result{Err: encodeErr(ErrNoNode)}, nil
+		}
+		if op.Watch && sm.sessionAlive(op.Session) {
+			sm.addWatch(op.Path, watchChildren, op.Session)
+		}
+		kids := make([]string, 0, len(n.children))
+		for c := range n.children {
+			kids = append(kids, c)
+		}
+		sort.Strings(kids)
+		return &Result{Children: kids}, nil
+
+	default:
+		return &Result{Err: fmt.Sprintf("coord: unknown op kind %d", op.Kind)}, nil
+	}
+}
+
+// deleteNode removes path, maintaining parent links, ephemeral ownership
+// and firing node/children watches.
+func (sm *stateMachine) deleteNode(path string, fired *[]firedWatch) {
+	n := sm.nodes[path]
+	if n == nil {
+		return
+	}
+	delete(sm.nodes, path)
+	if parent := sm.nodes[parentPath(path)]; parent != nil {
+		delete(parent.children, path)
+	}
+	if n.owner != 0 {
+		if sess := sm.sessions[n.owner]; sess != nil {
+			delete(sess.ephemerals, path)
+		}
+	}
+	sm.fire(path, watchNode, EventDeleted, fired)
+	sm.fire(parentPath(path), watchChildren, EventChildrenChanged, fired)
+}

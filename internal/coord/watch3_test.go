@@ -1,0 +1,28 @@
+package coord
+
+import (
+	"testing"
+
+	"mams/internal/sim"
+)
+
+func TestThreeWatchersOnAbsentNode(t *testing.T) {
+	e := newEnv(t, 3, 42)
+	hosts := []*testHost{}
+	for _, id := range []string{"w1", "w2", "w3", "creator"} {
+		h := e.newHost(t, id, ClientConfig{})
+		e.startClient(t, h)
+		hosts = append(hosts, h)
+	}
+	for _, h := range hosts[:3] {
+		h.client.GetData("/target", true, func([]byte, int64, error) {})
+	}
+	e.world.RunFor(2 * sim.Second)
+	hosts[3].client.Create("/target", nil, func(string, error) {})
+	e.world.RunFor(2 * sim.Second)
+	for i, h := range hosts[:3] {
+		if len(h.events) != 1 {
+			t.Errorf("watcher %d got %d events: %+v", i, len(h.events), h.events)
+		}
+	}
+}

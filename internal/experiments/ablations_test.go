@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("missing cell %d,%d in\n%s", row, col, tbl)
+	}
+	v, err := strconv.ParseFloat(strings.Fields(tbl.Rows[row][col])[0], 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d = %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAblationStandbys(t *testing.T) {
+	tbl := AblationStandbys(quick())
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Throughput declines monotonically-ish with standbys; MTTR stays in
+	// the session-timeout band throughout.
+	t1 := cellFloat(t, tbl, 0, 1)
+	t4 := cellFloat(t, tbl, 3, 1)
+	if t4 >= t1 {
+		t.Errorf("4 standbys (%.0f) should cost throughput vs 1 (%.0f)", t4, t1)
+	}
+	for r := 0; r < 4; r++ {
+		mttr := cellFloat(t, tbl, r, 2)
+		if mttr < 4 || mttr > 9 {
+			t.Errorf("row %d MTTR = %.2f, want session-timeout band", r, mttr)
+		}
+	}
+}
+
+func TestAblationSessionTimeout(t *testing.T) {
+	tbl := AblationSessionTimeout(quick())
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// MTTR grows with the timeout; the residual stays small and bounded.
+	prev := 0.0
+	for r := 0; r < 4; r++ {
+		mttr := cellFloat(t, tbl, r, 2)
+		if mttr <= prev {
+			t.Errorf("MTTR not increasing with session timeout at row %d (%v)", r, mttr)
+		}
+		prev = mttr
+		// Expiry counts from the LAST heartbeat before the fault, so the
+		// residual can undershoot by up to one heartbeat interval.
+		hb := cellFloat(t, tbl, r, 1)
+		residual := cellFloat(t, tbl, r, 3)
+		if residual < -(hb+1) || residual > 4 {
+			t.Errorf("row %d residual = %.2fs outside [-(hb+1), 4]", r, residual)
+		}
+	}
+}
+
+func TestAblationBatchInterval(t *testing.T) {
+	tbl := AblationBatchInterval(quick())
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Latency grows with the window.
+	lat0 := cellFloat(t, tbl, 0, 2)
+	lat3 := cellFloat(t, tbl, 3, 2)
+	if lat3 <= lat0 {
+		t.Errorf("32ms window latency (%.2f) should exceed 0.5ms window (%.2f)", lat3, lat0)
+	}
+}
+
+func TestAblationSyncSSP(t *testing.T) {
+	tbl := AblationSyncSSP(quick())
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Under saturation the pool write overlaps the standby acks, so the
+	// sync-mode cost can shrink to ~zero; it must never be negative.
+	asyncLat := cellFloat(t, tbl, 0, 2)
+	syncLat := cellFloat(t, tbl, 1, 2)
+	if syncLat < asyncLat-0.05 {
+		t.Errorf("sync SSP latency (%.3fms) below async (%.3fms)", syncLat, asyncLat)
+	}
+	syncLost := cellFloat(t, tbl, 1, 3)
+	if syncLost != 0 {
+		t.Errorf("sync SSP lost %v acknowledged ops on group wipe, want 0", syncLost)
+	}
+	asyncLost := cellFloat(t, tbl, 0, 3)
+	if asyncLost < 0 {
+		t.Errorf("async run never recovered")
+	}
+	if asyncLost == 0 {
+		t.Log("note: async wipe caught no in-flight batches this seed")
+	}
+}
+
+func TestAblationPartitioning(t *testing.T) {
+	tbl := AblationPartitioning(quick())
+	t.Log("\n" + tbl.String())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Full-path hashing balances the hot directory; subtree pins it.
+	pathBalance := tbl.Rows[0][3]
+	subtreeBalance := tbl.Rows[1][3]
+	pb, err := strconv.ParseFloat(pathBalance, 64)
+	if err != nil {
+		t.Fatalf("path balance %q", pathBalance)
+	}
+	if pb > 2 {
+		t.Errorf("full-path hash imbalance = %v, want near 1", pb)
+	}
+	if subtreeBalance != "inf" {
+		if sb, _ := strconv.ParseFloat(subtreeBalance, 64); sb < 3 {
+			t.Errorf("subtree imbalance = %v, want heavy skew or inf", sb)
+		}
+	}
+	// The hot directory throttles subtree mode to roughly one group's
+	// capacity: clearly below the spread configuration.
+	pathTput := cellFloat(t, tbl, 0, 1)
+	subTput := cellFloat(t, tbl, 1, 1)
+	if subTput >= pathTput {
+		t.Errorf("subtree hot-dir throughput (%.0f) should trail full-path (%.0f)", subTput, pathTput)
+	}
+}

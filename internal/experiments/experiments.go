@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) against the simulated systems. Each experiment returns
+// a Table whose rows mirror what the paper reports, alongside the paper's
+// published values where available, so EXPERIMENTS.md can record
+// paper-vs-measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mams/internal/cluster"
+	"mams/internal/mams"
+	"mams/internal/metrics"
+	"mams/internal/sim"
+	"mams/internal/workload"
+)
+
+// Options scales the experiments. The defaults run in seconds of real time;
+// the paper-scale settings (1,000,000 ops, 10 trials) are reachable with
+// Full.
+type Options struct {
+	Seed uint64
+	// Ops per throughput run (the paper uses 1M per client set).
+	Ops int
+	// Trials per MTTR cell (the paper uses 10).
+	Trials int
+	// Clients is the closed-loop op concurrency across client processes.
+	Clients int
+	// DataServers in each deployment.
+	DataServers int
+}
+
+// Defaults fills unset fields with fast-but-representative values.
+func (o *Options) Defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Ops == 0 {
+		o.Ops = 20000
+	}
+	if o.Trials == 0 {
+		o.Trials = 3
+	}
+	if o.Clients == 0 {
+		o.Clients = 192
+	}
+	if o.DataServers == 0 {
+		o.DataServers = 8
+	}
+}
+
+// Full returns paper-scale options (slow: ~minutes of real time).
+func Full() Options {
+	return Options{Ops: 1000000, Trials: 10, Clients: 256, DataServers: 16}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // "Figure 5", "Table I", ...
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// systemBuilder constructs a fresh deployment inside a fresh environment.
+type systemBuilder struct {
+	name  string
+	build func(env *cluster.Env) cluster.System
+}
+
+// measureThroughput builds the system fresh, optionally preloads targets,
+// and measures ops/s for one operation kind.
+func measureThroughput(seed uint64, b systemBuilder, kind mams.OpKind, opts Options) float64 {
+	env := cluster.NewEnv(seed)
+	sys := b.build(env)
+	if !sys.AwaitReady(60 * sim.Second) {
+		return 0
+	}
+	drv := workload.NewDriver(env, sys, 16, nil)
+	drv.Setup(16)
+	if kind == mams.OpStat || kind == mams.OpDelete || kind == mams.OpRename {
+		drv.Preload(opts.Ops, opts.Clients)
+	}
+	elapsed := drv.RunOps(kind, opts.Ops, opts.Clients)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(opts.Ops) / elapsed.Seconds()
+}
+
+// measureMixThroughput measures a mixed workload.
+func measureMixThroughput(seed uint64, b systemBuilder, mix workload.Mix, opts Options) float64 {
+	env := cluster.NewEnv(seed)
+	sys := b.build(env)
+	if !sys.AwaitReady(60 * sim.Second) {
+		return 0
+	}
+	drv := workload.NewDriver(env, sys, 16, nil)
+	drv.Setup(16)
+	elapsed := drv.RunMix(mix, opts.Ops, opts.Clients)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(opts.Ops) / elapsed.Seconds()
+}
+
+// mttrTrial builds the system fresh, runs a continuous create stream,
+// crashes the primary and returns the recovery gap plus the env for
+// post-hoc trace mining.
+func mttrTrial(seed uint64, b systemBuilder, horizon sim.Time, opts Options) (sim.Time, *cluster.Env, sim.Time, *metrics.Collector) {
+	env := cluster.NewEnv(seed)
+	sys := b.build(env)
+	if !sys.AwaitReady(60 * sim.Second) {
+		return 0, env, 0, nil
+	}
+	col := &metrics.Collector{}
+	drv := workload.NewDriver(env, sys, 8, col.Observe)
+	drv.Setup(8)
+	stop := drv.Continuous(workload.Mix{mams.OpCreate: 1}, 16)
+	env.RunFor(5 * sim.Second)
+	faultAt := env.Now()
+	sys.CrashPrimary()
+	env.RunFor(horizon)
+	stop()
+	env.RunFor(2 * sim.Second)
+	mttr, ok := col.MTTR(faultAt)
+	if !ok {
+		return 0, env, faultAt, col
+	}
+	return mttr, env, faultAt, col
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func fs(v sim.Time) string { return fmt.Sprintf("%.3f", v.Seconds()) }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mams/internal/cluster"
+	"mams/internal/mams"
+)
+
+// Figure5Result carries the measured throughput matrix.
+type Figure5Result struct {
+	Table *Table
+	// Tput[op][system] in ops/s; systems in the order of Systems.
+	Tput    map[mams.OpKind]map[string]float64
+	Systems []string
+}
+
+// Figure5 reproduces "Performance of MAMS with different active and standby
+// nodes": HDFS (one unreplicated metadata server) versus the CFS with three
+// replica groups and one to four standbys per group, across the five
+// metadata operations.
+func Figure5(opts Options) Figure5Result {
+	opts.Defaults()
+	builders := []systemBuilder{
+		{"HDFS", func(env *cluster.Env) cluster.System {
+			return cluster.BuildHDFS(env, cluster.BaselineSpec{})
+		}},
+	}
+	for backups := 1; backups <= 4; backups++ {
+		backups := backups
+		name := fmt.Sprintf("MAMS-3A%dS", 3*backups)
+		builders = append(builders, systemBuilder{name, func(env *cluster.Env) cluster.System {
+			return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 3, BackupsPerGroup: backups}).AsSystem()
+		}})
+	}
+
+	ops := []mams.OpKind{mams.OpCreate, mams.OpStat, mams.OpMkdir, mams.OpDelete, mams.OpRename}
+	res := Figure5Result{Tput: map[mams.OpKind]map[string]float64{}}
+	t := &Table{
+		ID:    "Figure 5",
+		Title: "Metadata throughput (ops/s): HDFS vs CFS with 1-4 standbys per active",
+		Note: "Paper shape: create/getfileinfo higher in CFS (partitioned across 3 actives);\n" +
+			"mkdir/delete/rename lower (distributed transactions); each added standby costs a few percent.",
+		Header: []string{"operation"},
+	}
+	for _, b := range builders {
+		t.Header = append(t.Header, b.name)
+		res.Systems = append(res.Systems, b.name)
+	}
+	seed := opts.Seed * 1000
+	for _, op := range ops {
+		res.Tput[op] = map[string]float64{}
+		row := []string{op.String()}
+		for _, b := range builders {
+			seed++
+			tput := measureThroughput(seed, b, op, opts)
+			res.Tput[op][b.name] = tput
+			row = append(row, f1(tput))
+		}
+		t.AddRow(row...)
+	}
+	res.Table = t
+	return res
+}

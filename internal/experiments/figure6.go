@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"mams/internal/cluster"
+	"mams/internal/workload"
+)
+
+// Figure6Result carries the mixed-workload throughput comparison.
+type Figure6Result struct {
+	Table *Table
+	Tput  map[string]float64 // system → ops/s
+	Order []string
+}
+
+// Figure6 reproduces "Comparison on metadata operation performance with
+// different reliability mechanisms": 1M mixed create/getfileinfo/mkdir
+// operations against HDFS, BackupNode, Hadoop Avatar, Hadoop HA and
+// CFS-1A3S.
+func Figure6(opts Options) Figure6Result {
+	opts.Defaults()
+	builders := []systemBuilder{
+		{"HDFS", func(env *cluster.Env) cluster.System {
+			return cluster.BuildHDFS(env, cluster.BaselineSpec{})
+		}},
+		{"BackupNode", func(env *cluster.Env) cluster.System {
+			return cluster.BuildBackupNode(env, cluster.BaselineSpec{})
+		}},
+		{"Hadoop Avatar", func(env *cluster.Env) cluster.System {
+			return cluster.BuildAvatar(env, cluster.BaselineSpec{})
+		}},
+		{"Hadoop HA", func(env *cluster.Env) cluster.System {
+			return cluster.BuildHadoopHA(env, cluster.BaselineSpec{})
+		}},
+		{"CFS (MAMS-1A3S)", func(env *cluster.Env) cluster.System {
+			return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3}).AsSystem()
+		}},
+	}
+
+	res := Figure6Result{Tput: map[string]float64{}}
+	t := &Table{
+		ID:    "Figure 6",
+		Title: "Mixed-workload throughput (ops/s) with different reliability mechanisms",
+		Note: "Paper shape: HDFS fastest (no reliability); BackupNode close behind (async stream,\n" +
+			"no consistency); CFS-1A3S above Hadoop Avatar and Hadoop HA despite three standbys.",
+		Header: []string{"system", "ops/s", "relative to HDFS"},
+	}
+	mix := workload.MixedPaper()
+	seed := opts.Seed*1000 + 500
+	var hdfs float64
+	for _, b := range builders {
+		seed++
+		tput := measureMixThroughput(seed, b, mix, opts)
+		res.Tput[b.name] = tput
+		res.Order = append(res.Order, b.name)
+		if b.name == "HDFS" {
+			hdfs = tput
+		}
+		rel := "1.00"
+		if hdfs > 0 {
+			rel = f3(tput / hdfs)
+		}
+		t.AddRow(b.name, f1(tput), rel)
+	}
+	res.Table = t
+	return res
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mams/internal/cluster"
+	"mams/internal/sim"
+	"mams/internal/trace"
+)
+
+// Figure7Trial breaks one MAMS failover into its stages.
+type Figure7Trial struct {
+	Total        sim.Time // failover time exclusive of the session timeout
+	Election     sim.Time
+	Switching    sim.Time
+	Reconnection sim.Time
+	Detection    sim.Time // the excluded session-timeout portion
+}
+
+// Figure7Result carries the per-trial stage breakdown.
+type Figure7Result struct {
+	Table  *Table
+	Trials []Figure7Trial
+}
+
+// Figure7 reproduces "The proportion of failover time at each stage in
+// MAMS": active election, active-standby switching and client reconnection,
+// excluding the (default 5 s) session timeout.
+func Figure7(opts Options) Figure7Result {
+	opts.Defaults()
+	res := Figure7Result{}
+	t := &Table{
+		ID:    "Figure 7",
+		Title: "MAMS failover-time breakdown per stage (session timeout excluded)",
+		Note: "Paper shape: election < 100 ms (event trigger + Paxos consensus); switching\n" +
+			"stable at 250-350 ms; the remainder — and its growth — is client reconnection.",
+		Header: []string{"trial", "excl-timeout (ms)", "election (ms)", "switching (ms)", "reconnect (ms)",
+			"election %", "switching %", "reconnect %"},
+	}
+
+	sb := systemBuilder{"MAMS-1A3S", func(env *cluster.Env) cluster.System {
+		return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3}).AsSystem()
+	}}
+	seed := opts.Seed*10000 + 700
+	for trial := 0; trial < opts.Trials; trial++ {
+		seed++
+		mttr, env, faultAt, col := mttrTrial(seed, sb, 30*sim.Second, opts)
+		if mttr == 0 || col == nil {
+			continue
+		}
+		tr := stagesFromTrace(env.Trace, faultAt)
+		// First client success after the switch completes.
+		if tr.switchDone > 0 {
+			for _, r := range col.Results {
+				if r.Err == nil && r.End >= tr.switchDone {
+					if tr.firstSuccess == 0 || r.End < tr.firstSuccess {
+						tr.firstSuccess = r.End
+					}
+				}
+			}
+		}
+		if tr.electionStart == 0 || tr.electionWon == 0 || tr.switchDone == 0 || tr.firstSuccess == 0 {
+			continue
+		}
+		ft := Figure7Trial{
+			Detection:    tr.electionStart - faultAt,
+			Election:     tr.electionWon - tr.electionStart,
+			Switching:    tr.switchDone - tr.electionWon,
+			Reconnection: tr.firstSuccess - tr.switchDone,
+		}
+		ft.Total = ft.Election + ft.Switching + ft.Reconnection
+		res.Trials = append(res.Trials, ft)
+		tot := ft.Total.Milliseconds()
+		t.AddRow(fmt.Sprint(trial+1),
+			fmt.Sprintf("%.0f", tot),
+			fmt.Sprintf("%.0f", ft.Election.Milliseconds()),
+			fmt.Sprintf("%.0f", ft.Switching.Milliseconds()),
+			fmt.Sprintf("%.0f", ft.Reconnection.Milliseconds()),
+			pct(ft.Election.Milliseconds(), tot),
+			pct(ft.Switching.Milliseconds(), tot),
+			pct(ft.Reconnection.Milliseconds(), tot))
+	}
+	res.Table = t
+	return res
+}
+
+func pct(part, total float64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/total)
+}
+
+type failoverStamps struct {
+	electionStart sim.Time
+	electionWon   sim.Time
+	switchDone    sim.Time
+	firstSuccess  sim.Time
+}
+
+// stagesFromTrace mines the failover stage boundaries after faultAt.
+func stagesFromTrace(tr *trace.Log, faultAt sim.Time) failoverStamps {
+	var out failoverStamps
+	for _, e := range tr.Events() {
+		if e.At < faultAt {
+			continue
+		}
+		switch {
+		case e.Kind == trace.KindElection && e.What == "election-start" && out.electionStart == 0:
+			out.electionStart = e.At
+		case e.Kind == trace.KindElection && e.What == "election-won" && out.electionWon == 0:
+			out.electionWon = e.At
+		case e.Kind == trace.KindFailover && e.What == "switch-done" && out.switchDone == 0:
+			out.switchDone = e.At
+		}
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+// Package fsclient implements the file-system client used by workloads and
+// by the MapReduce substrate. It routes operations to the owning replica
+// group (hash partitioning), and reconnects to the new active
+// transparently after a failover — the paper's claim that "the client can
+// reconnect to the new active directly and automatically after
+// active-standby switching and resend requests when needed".
+package fsclient
+
+import (
+	"errors"
+	"sort"
+
+	"mams/internal/mams"
+	"mams/internal/namespace"
+	"mams/internal/partition"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+)
+
+// ErrUnavailable reports that every attempt failed within the retry budget.
+var ErrUnavailable = errors.New("fsclient: metadata service unavailable")
+
+// Result records the outcome of one operation for metrics collection.
+type Result struct {
+	Kind    mams.OpKind
+	Path    string
+	Start   sim.Time
+	End     sim.Time
+	Err     error
+	Retries int
+}
+
+// Config assembles a client.
+type Config struct {
+	ID          simnet.NodeID
+	Groups      [][]simnet.NodeID // replica-group members by group index
+	Partitioner *partition.Partitioner
+	// RequestTimeout bounds one RPC attempt (default 1 s, mirroring an
+	// HDFS-era IPC timeout).
+	RequestTimeout sim.Time
+	// MaxAttempts bounds retries per operation (default 60).
+	MaxAttempts int
+	// RetryBackoff is the initial backoff between attempts (default
+	// 100 ms, doubling up to 1.6 s).
+	RetryBackoff sim.Time
+	// OnResult observes every completed operation (may be nil).
+	OnResult func(Result)
+}
+
+func (c *Config) defaults() {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = sim.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 60
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * sim.Millisecond
+	}
+}
+
+// Client issues metadata operations against a MAMS-style multi-group
+// metadata service.
+type Client struct {
+	cfg     Config
+	node    *simnet.Node
+	actives []simnet.NodeID // cached active per group ("" = unknown)
+	nextReq uint64
+	idSalt  uint64
+	probe   []int // round-robin cursor per group for WhoIsActive
+}
+
+// New registers the client process on the network.
+func New(net *simnet.Network, cfg Config) *Client {
+	cfg.defaults()
+	c := &Client{cfg: cfg, actives: make([]simnet.NodeID, len(cfg.Groups)), probe: make([]int, len(cfg.Groups))}
+	for _, ch := range cfg.ID {
+		c.idSalt = c.idSalt*131 + uint64(ch)
+	}
+	c.node = net.AddNode(cfg.ID, c)
+	return c
+}
+
+// Node exposes the client's simulated process.
+func (c *Client) Node() *simnet.Node { return c.node }
+
+// HandleMessage implements simnet.Handler (clients only use RPCs).
+func (c *Client) HandleMessage(from simnet.NodeID, msg any) {}
+
+func (c *Client) reqID() uint64 {
+	c.nextReq++
+	return c.idSalt<<32 | c.nextReq
+}
+
+// groupFor picks the coordinator group for an operation, matching the
+// server-side transaction plans.
+func (c *Client) groupFor(op mams.ClientOp) int {
+	p := c.cfg.Partitioner
+	switch op.Kind {
+	case mams.OpCreate, mams.OpStat, mams.OpList:
+		return p.HomeGroup(op.Path)
+	case mams.OpMkdir:
+		_, gs := p.MkdirPlan(op.Path)
+		return gs[0]
+	case mams.OpDelete:
+		_, gs := p.DeletePlan(op.Path)
+		return gs[0]
+	case mams.OpRename:
+		_, gs := p.RenamePlan(op.Path, op.Dest)
+		return gs[0]
+	default:
+		return 0
+	}
+}
+
+// Create makes a file of the given size.
+func (c *Client) Create(path string, size int64, cb func(err error)) {
+	c.do(mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpCreate, Path: path, Size: size},
+		func(rep mams.OpReply, err error) { cb(err) })
+}
+
+// Mkdir makes a directory (parent must exist).
+func (c *Client) Mkdir(path string, cb func(err error)) {
+	c.do(mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpMkdir, Path: path},
+		func(rep mams.OpReply, err error) { cb(err) })
+}
+
+// Delete removes a file or empty directory.
+func (c *Client) Delete(path string, cb func(err error)) {
+	c.do(mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpDelete, Path: path},
+		func(rep mams.OpReply, err error) { cb(err) })
+}
+
+// Rename moves a file or directory.
+func (c *Client) Rename(src, dst string, cb func(err error)) {
+	c.do(mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpRename, Path: src, Dest: dst},
+		func(rep mams.OpReply, err error) { cb(err) })
+}
+
+// Stat returns file metadata (the paper's getfileinfo).
+func (c *Client) Stat(path string, cb func(info *namespace.Info, err error)) {
+	c.do(mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpStat, Path: path},
+		func(rep mams.OpReply, err error) { cb(rep.Info, err) })
+}
+
+// List returns a directory's children. Directories are replicated in every
+// group but file entries are partitioned by path hash, so the client fans
+// the listing out to every replica group and merges the results (duplicate
+// directory entries collapse; files are unique to their home group).
+func (c *Client) List(path string, cb func(infos []namespace.Info, err error)) {
+	groups := len(c.cfg.Groups)
+	if groups == 1 {
+		c.do(mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpList, Path: path},
+			func(rep mams.OpReply, err error) { cb(rep.Infos, err) })
+		return
+	}
+	type part struct {
+		infos []namespace.Info
+		err   error
+	}
+	parts := make([]part, groups)
+	remaining := groups
+	finish := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		seen := map[string]bool{}
+		var merged []namespace.Info
+		var firstErr error
+		for _, p := range parts {
+			if p.err != nil {
+				if firstErr == nil {
+					firstErr = p.err
+				}
+				continue
+			}
+			for _, info := range p.infos {
+				if seen[info.Path] {
+					continue
+				}
+				seen[info.Path] = true
+				merged = append(merged, info)
+			}
+		}
+		if len(merged) == 0 && firstErr != nil {
+			cb(nil, firstErr)
+			return
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Path < merged[j].Path })
+		cb(merged, nil)
+	}
+	for g := 0; g < groups; g++ {
+		g := g
+		op := mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpList, Path: path}
+		start := c.node.World().Now()
+		c.attempt(op, g, 0, start, func(rep mams.OpReply, err error) {
+			parts[g] = part{infos: rep.Infos, err: err}
+			finish()
+		})
+	}
+}
+
+// do runs one logical operation with transparent reconnection.
+func (c *Client) do(op mams.ClientOp, cb func(mams.OpReply, error)) {
+	group := c.groupFor(op)
+	start := c.node.World().Now()
+	c.attempt(op, group, 0, start, cb)
+}
+
+func (c *Client) finish(op mams.ClientOp, start sim.Time, retries int, rep mams.OpReply, err error, cb func(mams.OpReply, error)) {
+	if c.cfg.OnResult != nil {
+		c.cfg.OnResult(Result{
+			Kind: op.Kind, Path: op.Path, Start: start,
+			End: c.node.World().Now(), Err: err, Retries: retries,
+		})
+	}
+	cb(rep, err)
+}
+
+func (c *Client) attempt(op mams.ClientOp, group, tries int, start sim.Time, cb func(mams.OpReply, error)) {
+	if tries >= c.cfg.MaxAttempts {
+		c.finish(op, start, tries, mams.OpReply{}, ErrUnavailable, cb)
+		return
+	}
+	target := c.actives[group]
+	if target == "" {
+		c.resolveActive(group, func(active simnet.NodeID) {
+			if active == "" {
+				c.backoffRetry(op, group, tries, start, cb)
+				return
+			}
+			c.actives[group] = active
+			c.attempt(op, group, tries, start, cb)
+		})
+		return
+	}
+	c.node.Call(target, op, c.cfg.RequestTimeout, func(resp any, err error) {
+		if err != nil {
+			// Timeout or dead server: drop the cached active and retry.
+			c.actives[group] = ""
+			c.backoffRetry(op, group, tries, start, cb)
+			return
+		}
+		rep, ok := resp.(mams.OpReply)
+		if !ok {
+			c.backoffRetry(op, group, tries, start, cb)
+			return
+		}
+		if rep.NotActive {
+			if rep.Hint != "" && rep.Hint != target {
+				c.actives[group] = rep.Hint
+			} else {
+				c.actives[group] = ""
+			}
+			c.backoffRetry(op, group, tries, start, cb)
+			return
+		}
+		if rep.Err != "" {
+			err := errors.New(rep.Err)
+			// Duplicate-message handling (§IV.C): a retried mutation may
+			// have taken effect before the failover; the resulting
+			// exists/not-found answers mean the original succeeded.
+			if tries > 0 && c.duplicateOutcome(op, rep.Err) {
+				c.finish(op, start, tries, mams.OpReply{}, nil, cb)
+				return
+			}
+			c.finish(op, start, tries, rep, err, cb)
+			return
+		}
+		c.finish(op, start, tries, rep, nil, cb)
+	})
+}
+
+// duplicateOutcome recognizes the footprint of a retried mutation that
+// already executed.
+func (c *Client) duplicateOutcome(op mams.ClientOp, errStr string) bool {
+	switch op.Kind {
+	case mams.OpCreate, mams.OpMkdir:
+		return errStr == namespace.ErrExists.Error()
+	case mams.OpDelete:
+		return errStr == namespace.ErrNotFound.Error()
+	case mams.OpRename:
+		return errStr == namespace.ErrNotFound.Error()
+	}
+	return false
+}
+
+func (c *Client) backoffRetry(op mams.ClientOp, group, tries int, start sim.Time, cb func(mams.OpReply, error)) {
+	backoff := c.cfg.RetryBackoff << uint(tries)
+	if max := 16 * c.cfg.RetryBackoff; backoff > max {
+		backoff = max
+	}
+	c.node.After(backoff, "fsclient-retry", func() {
+		c.attempt(op, group, tries+1, start, cb)
+	})
+}
+
+// resolveActive asks group members who the active is (round-robin).
+func (c *Client) resolveActive(group int, cb func(simnet.NodeID)) {
+	members := c.cfg.Groups[group]
+	if len(members) == 0 {
+		cb("")
+		return
+	}
+	c.probe[group] = (c.probe[group] + 1) % len(members)
+	target := members[c.probe[group]]
+	c.node.Call(target, mams.WhoIsActive{}, 300*sim.Millisecond, func(resp any, err error) {
+		if err != nil {
+			cb("")
+			return
+		}
+		if ai, ok := resp.(mams.ActiveIs); ok {
+			cb(ai.Active)
+			return
+		}
+		cb("")
+	})
+}

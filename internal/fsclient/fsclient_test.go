@@ -1,0 +1,197 @@
+package fsclient_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/namespace"
+	"mams/internal/sim"
+)
+
+type harness struct {
+	env *cluster.Env
+	c   *cluster.MAMSCluster
+	cli *fsclient.Client
+	res []fsclient.Result
+}
+
+func newHarness(t *testing.T, seed uint64, groups int) *harness {
+	t.Helper()
+	env := cluster.NewEnv(seed)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: groups, BackupsPerGroup: 2})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("cluster not stable")
+	}
+	h := &harness{env: env, c: c}
+	h.cli = c.NewClient(func(r fsclient.Result) { h.res = append(h.res, r) })
+	return h
+}
+
+func (h *harness) do(t *testing.T, run func(done func(error))) error {
+	t.Helper()
+	var opErr error
+	finished := false
+	h.env.World.Defer("op", func() { run(func(err error) { opErr, finished = err, true }) })
+	deadline := h.env.Now() + 120*sim.Second
+	for !finished && h.env.Now() < deadline {
+		h.env.RunFor(50 * sim.Millisecond)
+	}
+	if !finished {
+		t.Fatal("op never completed")
+	}
+	return opErr
+}
+
+func TestAllOperationsRoundTrip(t *testing.T) {
+	h := newHarness(t, 51, 1)
+	if err := h.do(t, func(done func(error)) { h.cli.Mkdir("/d", done) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.do(t, func(done func(error)) { h.cli.Create("/d/f", 123, done) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.do(t, func(done func(error)) {
+		h.cli.Stat("/d/f", func(info *namespace.Info, err error) {
+			if err == nil && info.Size != 123 {
+				err = errors.New("wrong size")
+			}
+			done(err)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.do(t, func(done func(error)) {
+		h.cli.List("/d", func(infos []namespace.Info, err error) {
+			if err == nil && len(infos) != 1 {
+				err = errors.New("wrong list")
+			}
+			done(err)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.do(t, func(done func(error)) { h.cli.Rename("/d/f", "/d/g", done) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.do(t, func(done func(error)) { h.cli.Delete("/d/g", done) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsSurfaceToCaller(t *testing.T) {
+	h := newHarness(t, 52, 1)
+	err := h.do(t, func(done func(error)) { h.cli.Create("/missing-parent/f", 1, done) })
+	if err == nil {
+		t.Fatal("create under missing parent should fail")
+	}
+	err = h.do(t, func(done func(error)) { h.cli.Delete("/nope", done) })
+	if err == nil {
+		t.Fatal("delete of missing file should fail")
+	}
+}
+
+func TestOnResultRecordsEveryOp(t *testing.T) {
+	h := newHarness(t, 53, 1)
+	_ = h.do(t, func(done func(error)) { h.cli.Mkdir("/r", done) })
+	_ = h.do(t, func(done func(error)) { h.cli.Create("/r/f", 1, done) })
+	_ = h.do(t, func(done func(error)) { h.cli.Delete("/nope", done) })
+	if len(h.res) != 3 {
+		t.Fatalf("recorded %d results", len(h.res))
+	}
+	if h.res[0].Kind != mams.OpMkdir || h.res[1].Kind != mams.OpCreate {
+		t.Fatalf("kinds = %v %v", h.res[0].Kind, h.res[1].Kind)
+	}
+	if h.res[2].Err == nil {
+		t.Fatal("failed op not recorded as failed")
+	}
+	for _, r := range h.res {
+		if r.End < r.Start {
+			t.Fatal("negative latency")
+		}
+	}
+}
+
+func TestReconnectAfterFailoverCountsRetries(t *testing.T) {
+	h := newHarness(t, 54, 1)
+	_ = h.do(t, func(done func(error)) { h.cli.Mkdir("/x", done) })
+	// Crash the active mid-stream; the next op must eventually succeed and
+	// show retries.
+	h.c.ActiveOf(0).Shutdown()
+	err := h.do(t, func(done func(error)) { h.cli.Create("/x/after", 1, done) })
+	if err != nil {
+		t.Fatalf("op across failover failed: %v", err)
+	}
+	last := h.res[len(h.res)-1]
+	if last.Retries == 0 {
+		t.Fatal("failover op should record retries")
+	}
+	if (last.End - last.Start) < 4*sim.Second {
+		t.Fatalf("failover op latency %v suspiciously low", last.End-last.Start)
+	}
+}
+
+func TestRoutingAgreesWithPlacementAcrossGroups(t *testing.T) {
+	h := newHarness(t, 55, 3)
+	if err := h.do(t, func(done func(error)) { h.cli.Mkdir("/m", done) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("/m/f%02d", i)
+		if err := h.do(t, func(done func(error)) { h.cli.Create(p, 1, done) }); err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+		if err := h.do(t, func(done func(error)) {
+			h.cli.Stat(p, func(info *namespace.Info, err error) { done(err) })
+		}); err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+	}
+	// Zero retries expected in a healthy cluster: routing hit the right
+	// active the first time for every op after warmup.
+	retries := 0
+	for _, r := range h.res[2:] {
+		retries += r.Retries
+	}
+	if retries > 2 {
+		t.Fatalf("healthy-cluster retries = %d", retries)
+	}
+}
+
+func TestListMergesAcrossGroups(t *testing.T) {
+	h := newHarness(t, 56, 3)
+	if err := h.do(t, func(done func(error)) { h.cli.Mkdir("/ls", done) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		p := fmt.Sprintf("/ls/f%02d", i)
+		if err := h.do(t, func(done func(error)) { h.cli.Create(p, 1, done) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.do(t, func(done func(error)) { h.cli.Mkdir("/ls/sub", done) }); err != nil {
+		t.Fatal(err)
+	}
+	var got []namespace.Info
+	if err := h.do(t, func(done func(error)) {
+		h.cli.List("/ls", func(infos []namespace.Info, err error) {
+			got = infos
+			done(err)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 12 files (partitioned over 3 groups) + 1 replicated dir, merged and
+	// deduplicated.
+	if len(got) != 13 {
+		t.Fatalf("list returned %d entries, want 13: %+v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Path >= got[i].Path {
+			t.Fatal("merged listing not sorted")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchBatch(records int) Batch {
+	bd := NewBuilder(1, 0, 0)
+	for i := 0; i < records; i++ {
+		bd.Add(Record{
+			Op: OpCreate, Path: fmt.Sprintf("/bench/d%03d/f%08d", i%16, i),
+			Size: 4 << 20, Perm: 0o644, MTime: 123456789,
+		})
+	}
+	return bd.Seal()
+}
+
+func BenchmarkBatchEncode(b *testing.B) {
+	batch := benchBatch(64)
+	enc := (&batch).Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = (&batch).Encode()
+	}
+}
+
+func BenchmarkBatchDecode(b *testing.B) {
+	batch := benchBatch(64)
+	enc := (&batch).Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogAppend(b *testing.B) {
+	l := NewLog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(Batch{SN: uint64(i + 1), Epoch: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuilderAddSeal(b *testing.B) {
+	bd := NewBuilder(1, 0, 0)
+	rec := Record{Op: OpCreate, Path: "/bench/f", Size: 1024, Perm: 0o644}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.Add(rec)
+		if i%64 == 63 {
+			bd.Seal()
+		}
+	}
+}
+
+func BenchmarkLogSince(b *testing.B) {
+	l := NewLog()
+	for sn := uint64(1); sn <= 10000; sn++ {
+		_ = l.Append(Batch{SN: sn, Epoch: 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := l.Since(9900); len(got) != 100 {
+			b.Fatal("wrong tail")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package mams_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/mams"
+	"mams/internal/metrics"
+	"mams/internal/rng"
+	"mams/internal/sim"
+	"mams/internal/workload"
+)
+
+// TestChaosInvariants runs randomized fault sequences against a loaded
+// 1A3S group across several seeds and checks the paper's core invariants
+// at every sample point:
+//
+//  1. never two simultaneous actives,
+//  2. the group heals (one active, standbys renewed) once faults stop,
+//  3. surviving replicas converge to identical namespace digests,
+//  4. every operation acknowledged before the final fault survives.
+func TestChaosInvariants(t *testing.T) {
+	for seed := uint64(100); seed < 104; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed uint64) {
+	env := cluster.NewEnv(seed)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("not stable")
+	}
+	col := &metrics.Collector{}
+	drv := workload.NewDriver(env, c.AsSystem(), 4, col.Observe)
+	drv.Setup(4)
+	stop := drv.Continuous(workload.CreateMkdir(), 8)
+
+	r := rng.New(seed * 77)
+	members := c.Groups[0]
+	down := map[int]bool{}
+	unplugged := map[int]bool{}
+
+	checkOneActive := func() {
+		actives := 0
+		for _, s := range members {
+			if s.Node().Up() && !s.Node().Unplugged() && s.Role() == mams.RoleActive {
+				actives++
+			}
+		}
+		// An unplugged node may stale-believe it is active; reachable
+		// actives must still be unique.
+		if actives > 1 {
+			t.Fatalf("%d reachable actives at %v", actives, env.Now())
+		}
+	}
+
+	// 8 random fault/heal actions, 10 s apart.
+	for step := 0; step < 8; step++ {
+		m := r.Intn(len(members))
+		switch r.Intn(4) {
+		case 0:
+			if !down[m] && !unplugged[m] {
+				members[m].Shutdown()
+				down[m] = true
+			}
+		case 1:
+			if down[m] {
+				members[m].Restart()
+				down[m] = false
+			}
+		case 2:
+			if !down[m] && !unplugged[m] {
+				members[m].Node().Unplug()
+				unplugged[m] = true
+			}
+		case 3:
+			if unplugged[m] {
+				members[m].Node().Replug()
+				unplugged[m] = false
+			}
+		}
+		for i := 0; i < 100; i++ {
+			env.RunFor(100 * sim.Millisecond)
+			checkOneActive()
+		}
+	}
+	// Heal everything and let the system converge.
+	for m, d := range down {
+		if d {
+			members[m].Restart()
+		}
+	}
+	for m, u := range unplugged {
+		if u {
+			members[m].Node().Replug()
+		}
+	}
+	lastFault := env.Now()
+	healed := false
+	deadline := env.Now() + 120*sim.Second
+	for env.Now() < deadline {
+		env.RunFor(sim.Second)
+		checkOneActive()
+		if allHealed(c) {
+			healed = true
+			break
+		}
+	}
+	if !healed {
+		t.Fatalf("group never healed; roles=%v", c.RolesOf(0))
+	}
+	stop()
+	env.RunFor(10 * sim.Second)
+
+	// Convergence: all members match the active byte-for-byte.
+	active := c.ActiveOf(0)
+	for _, s := range members {
+		if s == active {
+			continue
+		}
+		if s.Role() != mams.RoleStandby {
+			continue
+		}
+		if s.Tree().Digest() != active.Tree().Digest() {
+			t.Fatalf("replica %s diverged after chaos (sn %d vs %d)",
+				s.Node().ID(), s.LastSN(), active.LastSN())
+		}
+	}
+	// Durability: successes acknowledged well before the last fault window
+	// survive on the final active.
+	checked := 0
+	for _, res := range col.Results {
+		if res.Err == nil && res.Kind == mams.OpCreate && res.End < lastFault-10*sim.Second {
+			checked++
+			if !active.Tree().Exists(res.Path) {
+				t.Fatalf("acknowledged %s lost (acked at %v)", res.Path, res.End)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no acknowledged operations to check")
+	}
+	t.Logf("seed %d: healed, %d acknowledged creates verified, %d total ops (%d failed)",
+		seed, checked, drv.Completed(), drv.Failed())
+}
+
+func allHealed(c *cluster.MAMSCluster) bool {
+	actives, standbys, total := 0, 0, 0
+	var activeSN uint64
+	for _, s := range c.Groups[0] {
+		if !s.Node().Up() || s.Node().Unplugged() {
+			return false
+		}
+		total++
+		switch s.Role() {
+		case mams.RoleActive:
+			actives++
+			activeSN = s.LastSN()
+		case mams.RoleStandby:
+			standbys++
+		}
+	}
+	if actives != 1 || actives+standbys != total {
+		return false
+	}
+	for _, s := range c.Groups[0] {
+		if s.Role() == mams.RoleStandby && s.LastSN()+2 < activeSN {
+			return false
+		}
+	}
+	return true
+}

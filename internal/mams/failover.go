@@ -1,0 +1,307 @@
+package mams
+
+import (
+	"fmt"
+
+	"mams/internal/coord"
+	"mams/internal/journal"
+	"mams/internal/sim"
+	"mams/internal/ssp"
+	"mams/internal/trace"
+)
+
+// onLockGone fires when the group's distributed lock (or the active's
+// liveness node) disappears: the event-driven trigger of §III.C.
+func (s *Server) onLockGone() {
+	if s.role == RoleActive {
+		// Test A scenario: we are the active and lost the lock while
+		// alive. Stop providing service immediately and wait to register
+		// with whoever wins (Fig. 8a: the original active registered to
+		// the new one as a standby).
+		s.onDeposedByLockLoss()
+		return
+	}
+	s.maybeElect()
+}
+
+func (s *Server) onDeposedByLockLoss() {
+	s.emit(trace.KindFailover, "active-lost-lock", "epoch", fmt.Sprint(s.view.Epoch))
+	dirty := s.deposedDirty()
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+	}
+	s.builder = nil
+	s.renewScanOn = false
+	s.renewTarget = ""
+	s.renewSession = ""
+	for sn, ws := range s.waiters {
+		for _, w := range ws {
+			w(fmt.Errorf("mams: lost lock"))
+		}
+		delete(s.waiters, sn)
+	}
+	for _, rs := range s.pendingRepl {
+		if rs.timer != nil {
+			rs.timer.Stop()
+		}
+	}
+	s.pendingRepl = map[uint64]*replState{}
+	if dirty {
+		s.hardResetToJunior()
+	} else {
+		s.role = RoleStandby // tentative; registration reclassifies by sn
+	}
+	s.armWatches()
+}
+
+// maybeElect implements Algorithm 1's entry: standbys (or, with none left,
+// juniors) race for the distributed lock after a random delay — the
+// paper's "each standby generates a random number" realized as jitter, so
+// the largest effective number grabs the lock first.
+func (s *Server) maybeElect() {
+	if s.electing != 0 || s.upgrading || s.role == RoleActive || s.stopped {
+		return
+	}
+	if s.role != RoleStandby && s.role != RoleJunior {
+		return
+	}
+	s.electing = s.node.World().Now()
+	s.emit(trace.KindElection, "election-start", "role", s.role.String())
+	s.node.After(s.electionJitter(), "mams-election-jitter", s.tryAcquireLock)
+}
+
+// electionJitter draws the contention delay. Standbys use a short uniform
+// window; juniors defer to standbys and order themselves by journal
+// position (Algorithm 1: "selecting the junior with maximum sn").
+func (s *Server) electionJitter() sim.Time {
+	p := s.cfg.Params
+	base := p.ElectionJitterMin +
+		sim.Time(float64(p.ElectionJitterMax-p.ElectionJitterMin)*s.rnd())
+	if s.role == RoleJunior {
+		snRank := s.log.LastSN()
+		if snRank > 1000 {
+			snRank = 1000
+		}
+		base += 300*sim.Millisecond + sim.Time(1000-snRank)*50*sim.Microsecond
+	}
+	return base
+}
+
+func (s *Server) tryAcquireLock() {
+	if s.role == RoleActive || s.upgrading || s.stopped {
+		s.electing = 0
+		return
+	}
+	// A junior yields while any standby remains (Algorithm 1 branch).
+	if s.role == RoleJunior && len(s.view.Standbys()) > 0 {
+		s.electing = 0
+		s.coordCli.Exists(lockPath(s.cfg.Group), true, func(bool, error) {})
+		return
+	}
+	s.coordCli.CreateEphemeral(lockPath(s.cfg.Group), []byte(s.cfg.ID), func(_ string, err error) {
+		if err == coord.ErrNodeExists {
+			// Lost the race: events will notify others to stop competing.
+			s.electing = 0
+			s.emit(trace.KindElection, "election-lost")
+			s.coordCli.Exists(lockPath(s.cfg.Group), true, func(bool, error) {})
+			return
+		}
+		if err != nil {
+			// Coordination hiccup; retry shortly.
+			s.node.After(100*sim.Millisecond, "mams-lock-retry", s.tryAcquireLock)
+			return
+		}
+		s.emit(trace.KindElection, "election-won", "waited",
+			fmt.Sprint((s.node.World().Now() - s.electing).Milliseconds()))
+		s.runUpgrade()
+	})
+}
+
+// runUpgrade executes the six-step upgrade procedure of Fig. 4 on the
+// elected node.
+func (s *Server) runUpgrade() {
+	s.upgrading = true
+	s.electing = 0
+	s.emit(trace.KindFailover, "upgrade-start", "sn", fmt.Sprint(s.effectiveSN()))
+	// Step 1: visit the global view and check our own state.
+	s.refreshView(func() {
+		me := string(s.cfg.ID)
+		if s.view.States[me] == RoleJunior && len(s.view.Standbys()) > 0 {
+			// A hot standby exists; a junior must stop upgrading and give
+			// up the lock so re-election picks the standby.
+			s.emit(trace.KindFailover, "upgrade-abort-junior")
+			s.abortUpgrade()
+			return
+		}
+		if s.role == RoleJunior || s.view.States[me] == RoleJunior {
+			// Junior takeover (no standbys left): recover what the pool
+			// has before serving — "it ensures the continuity of metadata
+			// service even if no standbys are in the global view".
+			s.juniorCatchupFromSSP(func() { s.commitCachedAndFlip() })
+			return
+		}
+		s.commitCachedAndFlip()
+	})
+}
+
+func (s *Server) abortUpgrade() {
+	s.upgrading = false
+	for _, qo := range s.upgradeQueue {
+		qo.reply(OpReply{NotActive: true})
+	}
+	s.upgradeQueue = nil
+	s.coordCli.Delete(lockPath(s.cfg.Group), -1, func(error) {
+		s.coordCli.Exists(lockPath(s.cfg.Group), true, func(bool, error) {})
+	})
+}
+
+// commitCachedAndFlip performs steps 2-6: commit cached journals, flip the
+// global view, re-flush the journal tail, wait for registrations, serve.
+func (s *Server) commitCachedAndFlip() {
+	// Step 2: apply cached (prepared but uncommitted) journals.
+	s.node.After(s.cfg.Params.SwitchCommitCost, "mams-switch-commit", func() {
+		if s.pendingBatch != nil {
+			s.commitPending()
+		}
+		s.emit(trace.KindFailover, "cached-committed", "sn", fmt.Sprint(s.log.LastSN()))
+		// Step 3: modify the global view (previous active is refused by
+		// all nodes from this moment).
+		me := string(s.cfg.ID)
+		s.casView(func(v *View) bool {
+			prev := v.Active
+			v.Epoch++
+			if prev != "" && prev != me {
+				// The previous active is marked down until it registers
+				// again (Fig. 4a shows it degraded; registration decides
+				// standby vs junior by sn).
+				v.States[prev] = RoleDown
+			}
+			v.Active = me
+			v.States[me] = RoleActive
+			return true
+		}, func(err error) {
+			if err != nil {
+				s.emit(trace.KindFailover, "view-flip-failed", "err", err.Error())
+				s.abortUpgrade()
+				return
+			}
+			epoch := s.view.Epoch
+			s.emit(trace.KindFailover, "view-flipped", "epoch", fmt.Sprint(epoch))
+			// Step 4: re-flush the last cached journals to the replica
+			// group; receivers deduplicate by sn.
+			s.node.After(s.cfg.Params.SwitchStateCost, "mams-switch-state", func() {
+				s.reflushTail(epoch)
+				// Step 5: collect registrations (Register handler runs
+				// concurrently); step 6 after the registration window.
+				s.node.After(s.cfg.Params.RegistrationWait, "mams-registration-wait", func() {
+					s.becomeActiveNow(epoch)
+					s.emit(trace.KindFailover, "switch-done", "epoch", fmt.Sprint(epoch))
+				})
+			})
+		})
+	})
+}
+
+// reflushTail re-sends the most recent journal batches to every group
+// member (Fig. 4 step 4: "the elected standby flushes last cached journals
+// to others in the replica group again").
+func (s *Server) reflushTail(epoch uint64) {
+	last := s.log.LastSN()
+	from := uint64(0)
+	if last > 2 {
+		from = last - 2
+	}
+	batches := s.log.Since(from)
+	for _, m := range s.cfg.Members {
+		if m == s.cfg.ID {
+			continue
+		}
+		for _, b := range batches {
+			s.node.Send(m, AppendBatch{From: s.cfg.ID, Epoch: epoch, Batch: b,
+				CommitThrough: b.SN - 1, FlushOnly: true})
+		}
+		s.node.Send(m, CommitNotice{Epoch: epoch, Through: last})
+	}
+}
+
+// juniorCatchupFromSSP replays every journal batch the shared storage pool
+// holds beyond our position, after loading the newest checkpoint image if
+// our gap crosses one.
+func (s *Server) juniorCatchupFromSSP(done func()) {
+	s.sspc.List(s.cfg.Group, func(keys []ssp.Key, sizes map[ssp.Key]int64, err error) {
+		if err != nil {
+			done() // serve with what we have; the pool is unreachable
+			return
+		}
+		var bestImage ssp.Key
+		var journals []ssp.Key
+		for _, k := range keys {
+			switch k.Kind {
+			case ssp.KindImage:
+				if k.Seq > bestImage.Seq {
+					bestImage = k
+				}
+			case ssp.KindJournal:
+				journals = append(journals, k)
+			}
+		}
+		afterImage := func() {
+			s.replayPoolJournals(journals, done)
+		}
+		if bestImage.Seq > s.log.LastSN() {
+			s.sspc.Get(bestImage, func(data []byte, size int64, gerr error) {
+				if gerr == nil {
+					if tree, lerr := loadImage(data); lerr == nil {
+						s.tree = tree
+						s.log.ResetTo(bestImage.Seq, s.view.Epoch)
+					}
+				}
+				afterImage()
+			})
+			return
+		}
+		afterImage()
+	})
+}
+
+// replayPoolJournals fetches and applies contiguous batches above our sn.
+func (s *Server) replayPoolJournals(keys []ssp.Key, done func()) {
+	idx := 0
+	var step func()
+	step = func() {
+		// Find the key for the next sn we need.
+		next := s.log.LastSN() + 1
+		for idx < len(keys) && keys[idx].Seq < next {
+			idx++
+		}
+		if idx >= len(keys) || keys[idx].Seq != next {
+			done()
+			return
+		}
+		key := keys[idx]
+		idx++
+		s.sspc.Get(key, func(data []byte, size int64, err error) {
+			if err != nil {
+				done()
+				return
+			}
+			b, derr := journal.DecodeBatch(data)
+			if derr != nil || b.SN != next {
+				done()
+				return
+			}
+			if aerr := s.tree.ApplyBatch(b); aerr != nil {
+				s.emit(trace.KindJournal, "ssp-replay-error", "err", aerr.Error())
+				done()
+				return
+			}
+			_ = s.log.Append(b)
+			s.lastTx = b.LastTx()
+			step()
+		})
+	}
+	step()
+}
+
+// loadImage wraps namespace image loading (indirection for tests).
+var loadImage = defaultLoadImage

@@ -1,0 +1,19 @@
+package mams_test
+
+import (
+	"mams/internal/cluster"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/metrics"
+	"mams/internal/workload"
+)
+
+func newCollector() *metrics.Collector { return &metrics.Collector{} }
+
+func newDriverForTest(env *cluster.Env, c *cluster.MAMSCluster, col *metrics.Collector) *workload.Driver {
+	drv := workload.NewDriver(env, c.AsSystem(), 4, func(r fsclient.Result) { col.Observe(r) })
+	drv.Setup(4)
+	return drv
+}
+
+func createOnlyMix() workload.Mix { return workload.Mix{mams.OpCreate: 1} }

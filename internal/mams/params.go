@@ -1,0 +1,126 @@
+package mams
+
+import "mams/internal/sim"
+
+// Params models metadata-server costs and protocol timing. The defaults are
+// calibrated against the paper's testbed (4-core Xeon X3320, GbE, §IV) so
+// that the reproduced tables and figures land in the same regime.
+type Params struct {
+	// Per-operation CPU service time on the active (single dispatch
+	// thread model; saturation throughput per server ≈ 1/ServiceTime).
+	ReadSvc   sim.Time
+	CreateSvc sim.Time
+	MkdirSvc  sim.Time
+	DeleteSvc sim.Time
+	RenameSvc sim.Time
+
+	// Journal batching: modifications are aggregated and written back
+	// asynchronously (§IV).
+	BatchEvery      sim.Time
+	BatchMaxRecords int
+
+	// Replication cost charged to the active per batch per standby, plus
+	// a per-record component. These produce the paper's few-percent
+	// per-standby overhead (Fig. 5).
+	ReplPerBatchPerStandby  sim.Time
+	ReplPerRecordPerStandby sim.Time
+
+	// StandbyApplyPerRecord is the standby's CPU cost to apply a record.
+	StandbyApplyPerRecord sim.Time
+
+	// SSPPerRecordCPU is the active's cost to serialize a record into the
+	// shared storage pool write path (cheap: local-first sequential
+	// writes, the SSP's design goal).
+	SSPPerRecordCPU sim.Time
+
+	// TxnOverhead is the fixed extra CPU per distributed-transaction
+	// participant (2PC bookkeeping), making mkdir/delete/rename the
+	// slower "distributed transactions in the CFS" of Fig. 5.
+	TxnOverhead sim.Time
+
+	// AckTimeout bounds how long the active waits for a standby's batch
+	// ack before degrading it to junior.
+	AckTimeout sim.Time
+
+	// SSPReplicas is the shared-file replication factor in the pool.
+	SSPReplicas int
+
+	// Failover protocol timing.
+	ElectionJitterMin sim.Time // Algorithm 1's random-number contention,
+	ElectionJitterMax sim.Time // realized as a random delay before the lock grab
+	SwitchCommitCost  sim.Time // committing cached journals on the elected standby
+	SwitchStateCost   sim.Time // bookkeeping to flip into serving mode
+	RegistrationWait  sim.Time // wait for peers to re-register (Fig. 4 step 5)
+
+	// Renewing protocol.
+	RenewScanEvery    sim.Time // active's periodic view scan for juniors
+	RenewBatchApply   sim.Time // junior CPU per journal batch applied
+	RenewSmallGap     uint64   // sn gap below which final sync starts
+	RenewJournalChunk int      // batches per catch-up round trip
+
+	// CheckpointEverySN saves an image to the SSP every N serial numbers
+	// (0 disables periodic checkpoints).
+	CheckpointEverySN uint64
+
+	// SyncSSP makes batch commit additionally wait for the shared storage
+	// pool write to be durable. This implements the paper's future-work
+	// direction ("data recovery at any point with less data loss"): with
+	// it on, acknowledged operations survive even the loss of the entire
+	// replica group, at a latency/throughput cost the ablation benchmarks
+	// quantify.
+	SyncSSP bool
+}
+
+// DefaultParams returns the calibration used throughout the experiments.
+func DefaultParams() Params {
+	return Params{
+		ReadSvc:   45 * sim.Microsecond,
+		CreateSvc: 75 * sim.Microsecond,
+		MkdirSvc:  95 * sim.Microsecond,
+		DeleteSvc: 90 * sim.Microsecond,
+		RenameSvc: 120 * sim.Microsecond,
+
+		BatchEvery:      2 * sim.Millisecond,
+		BatchMaxRecords: 512,
+
+		ReplPerBatchPerStandby:  20 * sim.Microsecond,
+		ReplPerRecordPerStandby: 5 * sim.Microsecond,
+		StandbyApplyPerRecord:   8 * sim.Microsecond,
+		SSPPerRecordCPU:         6 * sim.Microsecond,
+		TxnOverhead:             80 * sim.Microsecond,
+
+		AckTimeout:  500 * sim.Millisecond,
+		SSPReplicas: 2,
+
+		ElectionJitterMin: 10 * sim.Millisecond,
+		ElectionJitterMax: 60 * sim.Millisecond,
+		SwitchCommitCost:  90 * sim.Millisecond,
+		SwitchStateCost:   60 * sim.Millisecond,
+		RegistrationWait:  120 * sim.Millisecond,
+
+		RenewScanEvery:    2 * sim.Second,
+		RenewBatchApply:   200 * sim.Microsecond,
+		RenewSmallGap:     8,
+		RenewJournalChunk: 64,
+
+		CheckpointEverySN: 0,
+	}
+}
+
+// svcFor returns the active's service time for an operation kind.
+func (p Params) svcFor(kind OpKind) sim.Time {
+	switch kind {
+	case OpStat, OpList:
+		return p.ReadSvc
+	case OpCreate:
+		return p.CreateSvc
+	case OpMkdir:
+		return p.MkdirSvc
+	case OpDelete:
+		return p.DeleteSvc
+	case OpRename:
+		return p.RenameSvc
+	default:
+		return p.ReadSvc
+	}
+}

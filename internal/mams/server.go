@@ -1,0 +1,1252 @@
+package mams
+
+import (
+	"fmt"
+	"sort"
+
+	"mams/internal/blockmap"
+	"mams/internal/coord"
+	"mams/internal/journal"
+	"mams/internal/namespace"
+	"mams/internal/partition"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/ssp"
+	"mams/internal/trace"
+)
+
+// WhoIsActive asks any group member for the current active (used by
+// clients to reconnect after failover and by cross-group transaction
+// coordinators).
+type WhoIsActive struct{}
+
+// ActiveIs answers WhoIsActive.
+type ActiveIs struct {
+	Active simnet.NodeID
+	Epoch  uint64
+}
+
+// Config assembles one metadata server.
+type Config struct {
+	ID         simnet.NodeID
+	Group      string // replica group name, e.g. "g0"
+	GroupIndex int
+	Members    []simnet.NodeID // this group's members, including ID
+	// AllGroups lists every group's members by group index, for
+	// cross-group transaction routing.
+	AllGroups [][]simnet.NodeID
+	// InitialRole is RoleActive or RoleStandby at bootstrap, RoleJunior
+	// for servers joining (or rejoining) a running group.
+	InitialRole Role
+
+	CoordServers        []simnet.NodeID
+	CoordSessionTimeout sim.Time
+	CoordHeartbeat      sim.Time
+
+	PoolNodes []simnet.NodeID
+
+	Partitioner *partition.Partitioner
+	Params      Params
+	SSPParams   ssp.Params
+}
+
+// znode paths for a group.
+func viewPath(group string) string      { return "/mams/" + group + "/view" }
+func lockPath(group string) string      { return "/mams/" + group + "/lock" }
+func aliveDir(group string) string      { return "/mams/" + group + "/alive" }
+func alivePath(group, id string) string { return aliveDir(group) + "/" + id }
+
+// replState tracks one in-flight replicated batch on the active.
+type replState struct {
+	batch      journal.Batch
+	needed     map[simnet.NodeID]bool
+	timer      *sim.Timer
+	sspPending bool // SyncSSP mode: pool write not yet durable
+}
+
+type queuedOp struct {
+	from  simnet.NodeID
+	op    ClientOp
+	reply func(any)
+}
+
+// Server is one CFS metadata server governed by the MAMS policy.
+type Server struct {
+	cfg  Config
+	node *simnet.Node
+
+	coordCli *coord.Client
+	pool     *ssp.PoolNode
+	sspc     *ssp.Client
+	blocks   *blockmap.Manager
+
+	tree    *namespace.Tree
+	log     *journal.Log
+	lastTx  uint64
+	builder *journal.Builder
+
+	role      Role
+	upgrading bool
+	view      View
+	viewVer   int64
+
+	// Active-side replication.
+	pendingRepl map[uint64]*replState
+	committedSN uint64
+	waiters     map[uint64][]func(err error)
+	batchTimer  *sim.Timer
+
+	// Standby-side pipeline.
+	pendingBatch *journal.Batch
+
+	// Election state.
+	electing     sim.Time // when the trigger fired (0 = not electing)
+	upgradeQueue []queuedOp
+
+	// Renewing.
+	renewTarget   simnet.NodeID // junior currently receiving live batches
+	renewSession  simnet.NodeID // junior currently in a renewing session
+	renewActive   simnet.NodeID // (junior side) the active renewing us
+	renewing      bool          // this server (as junior) is renewing
+	renewLastSeen map[simnet.NodeID]uint64
+	renewScanOn   bool
+
+	// Distributed transactions.
+	txnSeq       uint64
+	txnPending   map[uint64]*txnState
+	preparedTxns map[uint64]*preparedTxn
+
+	// Modeling.
+	busyUntil            sim.Time
+	virtualOverheadBytes int64
+	lastImageSN          uint64
+	lastImageSize        int64
+
+	registerAcked bool
+	sanityOn      bool
+
+	retryCache map[uint64]OpReply
+	tr         *trace.Log
+	rnd        func() float64 // uniform [0,1) for election jitter
+	stopped    bool
+}
+
+// NewServer builds a server and registers its process on the network.
+func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float64) *Server {
+	if cfg.Params.BatchEvery == 0 {
+		cfg.Params = DefaultParams()
+	}
+	s := &Server{
+		cfg:           cfg,
+		tree:          namespace.New(),
+		log:           journal.NewLog(),
+		view:          NewView(),
+		viewVer:       -1,
+		pendingRepl:   map[uint64]*replState{},
+		waiters:       map[uint64][]func(error){},
+		renewLastSeen: map[simnet.NodeID]uint64{},
+		txnPending:    map[uint64]*txnState{},
+		retryCache:    map[uint64]OpReply{},
+		tr:            tr,
+		rnd:           rnd,
+	}
+	s.node = net.AddNode(cfg.ID, s)
+	s.pool = ssp.NewPoolNode(s.node, cfg.SSPParams)
+	s.sspc = ssp.NewClient(s.node, cfg.PoolNodes, s.pool, cfg.Params.SSPReplicas)
+	s.blocks = blockmap.NewManager()
+	s.coordCli = coord.NewClient(s.node, coord.ClientConfig{
+		Servers:        cfg.CoordServers,
+		SessionTimeout: cfg.CoordSessionTimeout,
+		HeartbeatEvery: cfg.CoordHeartbeat,
+	}, s.onCoordEvent)
+	return s
+}
+
+// Node exposes the simulated process (fault injection).
+func (s *Server) Node() *simnet.Node { return s.node }
+
+// Role returns the server's current role.
+func (s *Server) Role() Role { return s.role }
+
+// Tree exposes the namespace for verification in tests and experiments.
+func (s *Server) Tree() *namespace.Tree { return s.tree }
+
+// LastSN returns the last committed serial number.
+func (s *Server) LastSN() uint64 { return s.log.LastSN() }
+
+// View returns a copy of this server's cached global view.
+func (s *Server) View() View { return s.view.Clone() }
+
+// Pool exposes the co-located SSP node.
+func (s *Server) Pool() *ssp.PoolNode { return s.pool }
+
+// SetVirtualOverheadBytes adds modeled bytes to checkpoint images,
+// representing namespace content not materialized in memory (lets the
+// experiments reach the paper's 16 MB–1 GB image scale cheaply).
+func (s *Server) SetVirtualOverheadBytes(n int64) { s.virtualOverheadBytes = n }
+
+// imageBytes is the logical checkpoint size.
+func (s *Server) imageBytes() int64 {
+	return s.tree.EstimatedImageBytes() + s.virtualOverheadBytes
+}
+
+func (s *Server) emit(kind trace.Kind, what string, args ...string) {
+	if s.tr != nil {
+		s.tr.Emit(kind, string(s.cfg.ID), what, args...)
+	}
+}
+
+// Start boots the server with its configured initial role.
+func (s *Server) Start() {
+	s.stopped = false
+	s.coordCli.Start(func(err error) {
+		if err != nil {
+			// Coordination unreachable; retry from scratch.
+			s.node.After(sim.Second, "mams-restart-coord", s.Start)
+			return
+		}
+		s.bootstrapZnodes()
+	})
+}
+
+// Shutdown crashes the process (the harness restarts it via Restart).
+func (s *Server) Shutdown() {
+	s.node.Crash()
+}
+
+// Restart brings a crashed server back as a junior with empty state — the
+// paper's "server which restarts after a failure".
+func (s *Server) Restart() {
+	s.node.Restart()
+	s.tree = namespace.New()
+	s.log = journal.NewLog()
+	s.lastTx = 0
+	s.builder = nil
+	s.role = RoleJunior
+	s.cfg.InitialRole = RoleJunior
+	s.upgrading = false
+	s.view = NewView()
+	s.viewVer = -1
+	s.pendingRepl = map[uint64]*replState{}
+	s.waiters = map[uint64][]func(error){}
+	s.pendingBatch = nil
+	s.electing = 0
+	s.upgradeQueue = nil
+	s.renewTarget = ""
+	s.renewSession = ""
+	s.renewActive = ""
+	s.renewing = false
+	s.renewLastSeen = map[simnet.NodeID]uint64{}
+	s.renewScanOn = false
+	s.txnPending = map[uint64]*txnState{}
+	s.preparedTxns = map[uint64]*preparedTxn{}
+	s.sanityOn = false
+	s.busyUntil = 0
+	s.retryCache = map[uint64]OpReply{}
+	s.blocks.Reset()
+	s.coordCli.Restart(func(err error) {
+		if err != nil {
+			s.node.After(sim.Second, "mams-restart-coord", func() { s.Restart() })
+			return
+		}
+		s.bootstrapZnodes()
+	})
+}
+
+// bootstrapZnodes ensures the group's persistent znodes exist, registers
+// this server's liveness, then enters its role.
+func (s *Server) bootstrapZnodes() {
+	mk := func(path string, next func()) {
+		s.coordCli.Create(path, nil, func(_ string, err error) {
+			if err != nil && err != coord.ErrNodeExists {
+				s.node.After(sim.Second, "mams-bootstrap-retry", s.bootstrapZnodes)
+				return
+			}
+			next()
+		})
+	}
+	mk("/mams", func() {
+		mk("/mams/"+s.cfg.Group, func() {
+			mk(aliveDir(s.cfg.Group), func() {
+				s.coordCli.CreateEphemeral(alivePath(s.cfg.Group, string(s.cfg.ID)), nil,
+					func(_ string, err error) {
+						if err != nil && err != coord.ErrNodeExists {
+							s.node.After(sim.Second, "mams-alive-retry", s.bootstrapZnodes)
+							return
+						}
+						s.armSanityLoop()
+						s.enterRole()
+					})
+			})
+		})
+	})
+}
+
+// armSanityLoop periodically re-arms the lock/liveness watchers and
+// re-checks for a missing active. Watch notifications travel as one-way
+// messages; on a lossy network one can vanish, and without this safety net
+// a group where every member missed the event would never elect.
+func (s *Server) armSanityLoop() {
+	if s.sanityOn {
+		return
+	}
+	s.sanityOn = true
+	jitter := sim.Time(float64(2*sim.Second) * s.rnd())
+	var loop func()
+	loop = func() {
+		if s.stopped {
+			s.sanityOn = false
+			return
+		}
+		if s.role != RoleActive && !s.upgrading {
+			s.armLockAliveWatches()
+		}
+		s.node.After(5*sim.Second, "mams-sanity", loop)
+	}
+	s.node.After(5*sim.Second+jitter, "mams-sanity", loop)
+}
+
+func (s *Server) enterRole() {
+	switch s.cfg.InitialRole {
+	case RoleActive:
+		s.bootstrapAsActive()
+	case RoleStandby:
+		s.joinAsStandby()
+	default:
+		s.joinAsJunior()
+	}
+}
+
+// bootstrapAsActive is the cold-start path for the group's first active:
+// grab the lock, publish the initial view, start serving.
+func (s *Server) bootstrapAsActive() {
+	s.coordCli.CreateEphemeral(lockPath(s.cfg.Group), []byte(s.cfg.ID), func(_ string, err error) {
+		if err == coord.ErrNodeExists {
+			// Someone beat us to it; fall back to standby.
+			s.cfg.InitialRole = RoleStandby
+			s.joinAsStandby()
+			return
+		}
+		if err != nil {
+			s.node.After(sim.Second, "mams-lock-retry", s.bootstrapAsActive)
+			return
+		}
+		v := NewView()
+		v.Epoch = 1
+		v.Active = string(s.cfg.ID)
+		for _, m := range s.cfg.Members {
+			if m == s.cfg.ID {
+				v.States[string(m)] = RoleActive
+			} else {
+				v.States[string(m)] = RoleStandby
+			}
+		}
+		s.coordCli.Create(viewPath(s.cfg.Group), v.Encode(), func(_ string, err error) {
+			if err != nil && err != coord.ErrNodeExists {
+				s.node.After(sim.Second, "mams-view-retry", s.bootstrapAsActive)
+				return
+			}
+			s.refreshView(func() {
+				s.becomeActiveNow(1)
+			})
+		})
+	})
+}
+
+// becomeActiveNow finalizes active duty at the given epoch.
+func (s *Server) becomeActiveNow(epoch uint64) {
+	s.role = RoleActive
+	s.upgrading = false
+	s.builder = journal.NewBuilder(epoch, s.log.LastSN(), s.lastTx)
+	s.committedSN = s.log.LastSN()
+	s.emit(trace.KindState, "become-active", "epoch", fmt.Sprint(epoch), "sn", fmt.Sprint(s.log.LastSN()))
+	s.armBatchTimer()
+	s.armRenewScan()
+	s.armWatches()
+	// Serve anything buffered during the upgrade.
+	q := s.upgradeQueue
+	s.upgradeQueue = nil
+	for _, qo := range q {
+		s.handleClientOp(qo.from, qo.op, qo.reply)
+	}
+}
+
+// joinAsStandby waits for the group view to show this node as a standby.
+func (s *Server) joinAsStandby() {
+	s.coordCli.GetData(viewPath(s.cfg.Group), true, func(data []byte, ver int64, err error) {
+		if err == coord.ErrNoNode {
+			s.emit(trace.KindState, "standby-wait-view")
+			return // watch fires on creation
+		}
+		if err != nil {
+			s.emit(trace.KindState, "standby-view-err", "err", err.Error())
+			s.node.After(sim.Second, "mams-standby-retry", s.joinAsStandby)
+			return
+		}
+		v, derr := DecodeView(data)
+		if derr != nil {
+			return
+		}
+		s.view, s.viewVer = v, ver
+		s.role = RoleStandby
+		s.log.ResetTo(s.log.LastSN(), v.Epoch)
+		s.emit(trace.KindState, "become-standby", "epoch", fmt.Sprint(v.Epoch))
+		s.armWatches()
+	})
+}
+
+// joinAsJunior registers this node in the view as a junior and waits for
+// the renewing protocol.
+func (s *Server) joinAsJunior() {
+	s.role = RoleJunior
+	s.emit(trace.KindState, "become-junior")
+	s.casView(func(v *View) bool {
+		if v.States[string(s.cfg.ID)] == RoleJunior {
+			return false
+		}
+		v.States[string(s.cfg.ID)] = RoleJunior
+		return true
+	}, func(err error) {
+		s.armWatches()
+	})
+}
+
+// refreshView re-reads the group view (no watch) and invokes done.
+func (s *Server) refreshView(done func()) {
+	s.coordCli.GetData(viewPath(s.cfg.Group), false, func(data []byte, ver int64, err error) {
+		if err == nil {
+			if v, derr := DecodeView(data); derr == nil {
+				s.adoptView(v, ver)
+			}
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// casView applies mutate to the freshest view under compare-and-set,
+// retrying on conflicts. mutate returns false to abandon the update.
+func (s *Server) casView(mutate func(v *View) bool, done func(err error)) {
+	s.coordCli.GetData(viewPath(s.cfg.Group), false, func(data []byte, ver int64, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		v, derr := DecodeView(data)
+		if derr != nil {
+			done(derr)
+			return
+		}
+		work := v.Clone()
+		if !mutate(&work) {
+			s.adoptView(v, ver)
+			done(nil)
+			return
+		}
+		s.coordCli.SetData(viewPath(s.cfg.Group), work.Encode(), ver, func(newVer int64, serr error) {
+			if serr == coord.ErrBadVersion {
+				s.casView(mutate, done) // lost a race; retry on fresh state
+				return
+			}
+			if serr != nil {
+				done(serr)
+				return
+			}
+			s.adoptView(work, newVer)
+			done(nil)
+		})
+	})
+}
+
+// adoptView installs a newer view locally and reacts to role changes
+// decided elsewhere (demotion, new active, ...).
+func (s *Server) adoptView(v View, ver int64) {
+	if ver <= s.viewVer && v.Epoch <= s.view.Epoch {
+		if ver >= 0 && ver > s.viewVer {
+			s.viewVer = ver
+		}
+		return
+	}
+	prev := s.view
+	s.view, s.viewVer = v, ver
+
+	me := string(s.cfg.ID)
+	switch {
+	case v.Active == me && s.role != RoleActive && !s.upgrading:
+		// The view says we are active but we are not: this only happens
+		// for the bootstrap active; elections set the role explicitly.
+	case v.Active != me && s.role == RoleActive:
+		// We were deposed (e.g., Test A: the active lost the lock).
+		s.stepDown(v)
+	case v.States[me] == RoleJunior && s.role == RoleStandby:
+		s.role = RoleJunior
+		s.pendingBatch = nil
+		s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(v.Epoch))
+	}
+	// A new active appeared: every member registers (Fig. 4 step 5).
+	if v.Active != "" && v.Active != prev.Active && v.Active != me && s.role != RoleActive {
+		s.sendRegister(simnet.NodeID(v.Active), 0)
+	}
+	// Keep the lock/liveness watchers armed regardless of how we learned
+	// about this view (the coordination service deduplicates one-shot
+	// watch registrations per session, so this is idempotent).
+	s.armLockAliveWatches()
+}
+
+// armLockAliveWatches (re-)installs the lock watcher and the watcher on
+// the active's liveness node.
+func (s *Server) armLockAliveWatches() {
+	s.coordCli.Exists(lockPath(s.cfg.Group), true, func(exists bool, err error) {
+		if err == nil && !exists && s.role != RoleActive && !s.upgrading {
+			s.onLockGone()
+		}
+	})
+	if s.view.Active != "" && s.view.Active != string(s.cfg.ID) {
+		s.coordCli.Exists(alivePath(s.cfg.Group, s.view.Active), true, func(bool, error) {})
+	}
+}
+
+// effectiveSN is the sn this node could commit up to (including a cached
+// uncommitted batch, which it would apply during upgrade).
+func (s *Server) effectiveSN() uint64 {
+	if s.pendingBatch != nil {
+		return s.pendingBatch.SN
+	}
+	return s.log.LastSN()
+}
+
+// deposedDirty reports whether a deposed active's namespace can NOT be a
+// valid prefix of the new timeline: it applied records that never sealed,
+// or sealed batches that never finished replication (the new active may
+// hold a different batch under the same sn).
+func (s *Server) deposedDirty() bool {
+	if s.builder != nil && s.builder.Pending() > 0 {
+		return true
+	}
+	return s.committedSN < s.log.LastSN()
+}
+
+// hardResetToJunior discards all namespace state; the renewing protocol
+// rebuilds it from the shared storage pool ("the active ... will be
+// directly degraded to the junior state").
+func (s *Server) hardResetToJunior() {
+	s.emit(trace.KindState, "hard-reset-junior", "sn", fmt.Sprint(s.log.LastSN()))
+	s.tree = namespace.New()
+	s.log = journal.NewLog()
+	s.lastTx = 0
+	s.committedSN = 0
+	s.pendingBatch = nil
+	s.renewing = false
+	s.role = RoleJunior
+}
+
+// stepDown turns a deposed active into the role the view assigns it. If
+// its state cannot be a valid prefix of the new timeline it resets to
+// junior instead and relies on renewing.
+func (s *Server) stepDown(v View) {
+	s.emit(trace.KindState, "step-down", "epoch", fmt.Sprint(v.Epoch))
+	dirty := s.deposedDirty()
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+	}
+	s.builder = nil
+	s.renewScanOn = false
+	s.renewTarget = ""
+	s.renewSession = ""
+	// Fail all waiting client replies; clients retry against the new
+	// active (the paper's duplicate-message handling absorbs retries).
+	for sn, ws := range s.waiters {
+		for _, w := range ws {
+			w(fmt.Errorf("mams: deposed"))
+		}
+		delete(s.waiters, sn)
+	}
+	for _, rs := range s.pendingRepl {
+		if rs.timer != nil {
+			rs.timer.Stop()
+		}
+	}
+	s.pendingRepl = map[uint64]*replState{}
+	if dirty {
+		s.hardResetToJunior()
+	} else {
+		role := v.States[string(s.cfg.ID)]
+		if role == RoleActive {
+			role = RoleStandby
+		}
+		s.role = role
+	}
+	// Register with the new active so it can classify us by sn (a reset
+	// node registers sn 0 and is assigned junior).
+	if v.Active != "" {
+		s.sendRegister(simnet.NodeID(v.Active), 0)
+	}
+}
+
+// sendRegister announces this member to the active, retrying until a
+// RegisterAck arrives (the active may still be mid-upgrade when the first
+// attempt lands).
+func (s *Server) sendRegister(to simnet.NodeID, attempt int) {
+	if attempt > 20 || s.stopped || s.role == RoleActive || s.upgrading {
+		return
+	}
+	if string(to) != s.view.Active {
+		return // the view moved on; a fresh registration will follow it
+	}
+	s.registerAcked = false
+	s.node.Send(to, Register{From: s.cfg.ID, LastSN: s.effectiveSN()})
+	s.node.After(300*sim.Millisecond, "mams-register-retry", func() {
+		if !s.registerAcked {
+			s.sendRegister(to, attempt+1)
+		}
+	})
+}
+
+// onCoordEvent receives watch events and session-expiry notices.
+func (s *Server) onCoordEvent(ev coord.WatchEvent) {
+	if s.stopped {
+		return
+	}
+	switch ev.Type {
+	case coord.EventSessionExpired:
+		s.onSessionExpired()
+	case coord.EventDeleted:
+		if ev.Path == lockPath(s.cfg.Group) {
+			s.onLockGone()
+			return
+		}
+		if ev.Path == alivePath(s.cfg.Group, s.view.Active) {
+			s.onLockGone()
+			return
+		}
+		s.rearmWatchFor(ev.Path)
+	case coord.EventDataChanged, coord.EventCreated:
+		if ev.Path == viewPath(s.cfg.Group) {
+			s.onViewChanged()
+			return
+		}
+		s.rearmWatchFor(ev.Path)
+	}
+}
+
+// onSessionExpired: our coordination session died (network cable pulled
+// long enough, GC pause, ...). Whatever we were, we are a junior now: our
+// ephemerals (lock, alive) are gone and peers have moved on.
+func (s *Server) onSessionExpired() {
+	s.emit(trace.KindState, "session-expired")
+	wasActive := s.role == RoleActive
+	if wasActive {
+		dirty := s.deposedDirty()
+		if s.batchTimer != nil {
+			s.batchTimer.Stop()
+		}
+		s.builder = nil
+		for sn, ws := range s.waiters {
+			for _, w := range ws {
+				w(fmt.Errorf("mams: session expired"))
+			}
+			delete(s.waiters, sn)
+		}
+		if dirty {
+			s.hardResetToJunior()
+		}
+	}
+	s.role = RoleJunior
+	s.pendingBatch = nil
+	s.renewing = false
+	s.renewScanOn = false
+	s.coordCli.Restart(func(err error) {
+		if err != nil {
+			s.node.After(sim.Second, "mams-session-retry", s.onSessionExpired)
+			return
+		}
+		s.coordCli.CreateEphemeral(alivePath(s.cfg.Group, string(s.cfg.ID)), nil, func(string, error) {
+			s.joinAsJunior()
+		})
+	})
+}
+
+// armWatches installs the three watchers of §III.C: the view (self state),
+// the lock, and the active's liveness node.
+func (s *Server) armWatches() {
+	s.coordCli.GetData(viewPath(s.cfg.Group), true, func(data []byte, ver int64, err error) {
+		if err == nil {
+			if v, derr := DecodeView(data); derr == nil {
+				s.adoptView(v, ver)
+			}
+		}
+	})
+	s.armLockAliveWatches()
+}
+
+// rearmWatchFor re-installs a one-shot watch after an uninteresting event.
+func (s *Server) rearmWatchFor(path string) {
+	switch path {
+	case lockPath(s.cfg.Group):
+		s.coordCli.Exists(path, true, func(bool, error) {})
+	case viewPath(s.cfg.Group):
+		s.onViewChanged()
+	}
+}
+
+// onViewChanged re-reads the view and re-arms its watch.
+func (s *Server) onViewChanged() {
+	s.coordCli.GetData(viewPath(s.cfg.Group), true, func(data []byte, ver int64, err error) {
+		if err != nil {
+			return
+		}
+		if v, derr := DecodeView(data); derr == nil {
+			s.adoptView(v, ver)
+		}
+	})
+}
+
+// ---- message dispatch ----
+
+// HandleMessage implements simnet.Handler.
+func (s *Server) HandleMessage(from simnet.NodeID, msg any) {
+	if s.coordCli.MaybeHandle(from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case AppendAck:
+		s.onAppendAck(m)
+	case CommitNotice:
+		s.onCommitNotice(m)
+	case Register:
+		s.onRegister(m)
+	case RegisterAck:
+		s.onRegisterAck(m)
+	case Promote:
+		s.onPromote(m)
+	case Demote:
+		s.onDemote(m)
+	case RenewStart:
+		s.onRenewStart(m)
+	case RenewProgress:
+		s.onRenewProgress(m)
+	case TxnVote:
+		s.onTxnVote(m)
+	case TxnAbort:
+		s.onTxnAbort(m)
+	case blockmap.IncrementalReport:
+		s.blocks.ApplyIncremental(m)
+	}
+}
+
+// HandleRequest implements simnet.RequestHandler.
+func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+	if s.pool.MaybeHandleRequest(from, req, reply) {
+		return
+	}
+	switch m := req.(type) {
+	case ClientOp:
+		s.handleClientOp(from, m, reply)
+	case WhoIsActive:
+		reply(ActiveIs{Active: simnet.NodeID(s.view.Active), Epoch: s.view.Epoch})
+	case AppendBatch:
+		s.onAppendBatch(from, m, reply)
+	case RenewJournalReq:
+		s.onRenewJournalReq(m, reply)
+	case TxnPrepare:
+		s.onTxnPrepare(from, m, reply)
+	default:
+		reply(nil)
+	}
+}
+
+// ---- client operations on the active ----
+
+func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)) {
+	if s.upgrading {
+		// Fig. 4 step 3: accept and buffer, commit after the upgrade.
+		s.upgradeQueue = append(s.upgradeQueue, queuedOp{from: from, op: op, reply: reply})
+		return
+	}
+	if s.role != RoleActive {
+		reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+		return
+	}
+	if cached, dup := s.retryCache[op.ReqID]; dup {
+		reply(cached)
+		return
+	}
+	// CPU queue: ops are serviced sequentially.
+	svc := s.cfg.Params.svcFor(op.Kind)
+	now := s.node.World().Now()
+	start := s.busyUntil
+	if start < now {
+		start = now
+	}
+	s.busyUntil = start + svc
+	s.node.After(s.busyUntil-now, "mds-op", func() {
+		s.executeOp(op, reply)
+	})
+}
+
+func (s *Server) finishOp(op ClientOp, rep OpReply, reply func(any)) {
+	s.retryCache[op.ReqID] = rep
+	reply(rep)
+}
+
+// executeOp runs an operation after its queueing delay.
+func (s *Server) executeOp(op ClientOp, reply func(any)) {
+	if s.role != RoleActive || s.builder == nil {
+		reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+		return
+	}
+	now := int64(s.node.World().Now())
+	switch op.Kind {
+	case OpStat:
+		info, err := s.tree.Stat(op.Path)
+		if err != nil {
+			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			return
+		}
+		s.finishOp(op, OpReply{Info: &info}, reply)
+	case OpList:
+		infos, err := s.tree.List(op.Path)
+		if err != nil {
+			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			return
+		}
+		s.finishOp(op, OpReply{Infos: infos}, reply)
+	case OpCreate:
+		rec := journal.Record{Op: journal.OpCreate, Path: op.Path, Size: op.Size, Perm: 0o644, MTime: now}
+		s.applyAndJournal(op, []journal.Record{rec}, reply)
+	case OpMkdir, OpDelete, OpRename:
+		s.executeStructuralOp(op, reply)
+	default:
+		s.finishOp(op, OpReply{Err: "mams: unknown op"}, reply)
+	}
+}
+
+// validateRecord defers to the namespace's dry-run validator so that only
+// records guaranteed to replay cleanly ever reach the journal.
+func validateRecord(t *namespace.Tree, rec journal.Record) error {
+	return t.Validate(rec)
+}
+
+// applyAndJournal validates and applies records locally, then replies once
+// the containing batch has been replicated to the standbys.
+func (s *Server) applyAndJournal(op ClientOp, recs []journal.Record, reply func(any)) {
+	for i := range recs {
+		if err := validateRecord(s.tree, recs[i]); err != nil {
+			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			return
+		}
+		tx := s.builder.Add(recs[i])
+		recs[i].TxID = tx
+		if err := s.tree.Apply(recs[i]); err != nil {
+			// Unreachable given validateRecord; surface loudly if not.
+			s.emit(trace.KindJournal, "apply-after-validate-failed", "err", err.Error())
+			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			return
+		}
+	}
+	// The records will ride in the next sealed batch.
+	sn := s.log.LastSN() + 1
+	s.waiters[sn] = append(s.waiters[sn], func(err error) {
+		if err != nil {
+			reply(OpReply{Err: err.Error(), NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+			return
+		}
+		s.finishOp(op, OpReply{}, reply)
+	})
+}
+
+// ---- journal batching & replication (active) ----
+
+func (s *Server) armBatchTimer() {
+	s.batchTimer = s.node.After(s.cfg.Params.BatchEvery, "mds-batch", func() {
+		if s.leaseLapsed() {
+			// Self-fencing: we have been out of contact with the
+			// coordination service for close to the session timeout, so
+			// our lock and liveness node may already be gone and a new
+			// active may be rising. Stop serving before we can conflict.
+			s.emit(trace.KindState, "self-fence")
+			s.onSessionExpired()
+			return
+		}
+		s.sealBatch()
+		if s.role == RoleActive {
+			s.armBatchTimer()
+		}
+	})
+}
+
+// leaseLapsed reports whether the active's coordination lease expired: no
+// successful ensemble contact within (session timeout - heartbeat), the
+// margin that guarantees we fence before any successor can be elected.
+func (s *Server) leaseLapsed() bool {
+	if s.role != RoleActive {
+		return false
+	}
+	fence := s.cfg.CoordSessionTimeout - s.cfg.CoordHeartbeat
+	if fence < s.cfg.CoordHeartbeat {
+		fence = s.cfg.CoordHeartbeat
+	}
+	return s.node.World().Now()-s.coordCli.LastContact() > fence
+}
+
+// replTargets are the members that must ack every batch: the standbys in
+// the current view plus a junior in final renewing sync.
+func (s *Server) replTargets() []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, id := range s.view.Standbys() {
+		if id != string(s.cfg.ID) {
+			out = append(out, simnet.NodeID(id))
+		}
+	}
+	if s.renewTarget != "" {
+		out = append(out, s.renewTarget)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *Server) sealBatch() {
+	if s.role != RoleActive || s.builder == nil || s.builder.Pending() == 0 {
+		return
+	}
+	batch := s.builder.Seal()
+	s.lastTx = batch.LastTx()
+	if err := s.log.Append(batch); err != nil {
+		s.emit(trace.KindJournal, "active-append-error", "err", err.Error())
+		return
+	}
+	targets := s.replTargets()
+	// Replication + SSP serialization CPU cost on the active.
+	cost := sim.Time(len(targets)) * (s.cfg.Params.ReplPerBatchPerStandby +
+		sim.Time(len(batch.Records))*s.cfg.Params.ReplPerRecordPerStandby)
+	cost += sim.Time(len(batch.Records)) * s.cfg.Params.SSPPerRecordCPU
+	now := s.node.World().Now()
+	if s.busyUntil < now {
+		s.busyUntil = now
+	}
+	s.busyUntil += cost
+
+	rs := &replState{batch: batch, needed: map[simnet.NodeID]bool{}}
+	for _, t := range targets {
+		rs.needed[t] = true
+	}
+	s.pendingRepl[batch.SN] = rs
+	// Persist into the shared storage pool: asynchronously by default
+	// (§IV: "written back to journals in an asynchronous way"), or as part
+	// of the commit requirement in SyncSSP mode.
+	enc := batch.Encode()
+	if s.cfg.Params.SyncSSP {
+		rs.sspPending = true
+		sn := batch.SN
+		s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: sn}, enc, int64(len(enc)), func(err error) {
+			if cur, ok := s.pendingRepl[sn]; ok && cur == rs {
+				rs.sspPending = false
+				s.tryAdvanceCommit()
+			}
+		})
+	} else {
+		s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: batch.SN}, enc, int64(len(enc)), func(error) {})
+	}
+
+	if len(targets) == 0 {
+		s.tryAdvanceCommit()
+		return
+	}
+	msg := AppendBatch{From: s.cfg.ID, Epoch: batch.Epoch, Batch: batch, CommitThrough: s.committedSN}
+	for _, t := range targets {
+		s.node.Call(t, msg, s.cfg.Params.AckTimeout, s.makeAckHandler(batch.SN, t))
+	}
+	rs.timer = s.node.After(s.cfg.Params.AckTimeout+10*sim.Millisecond, "mds-ack-timeout", func() {
+		s.onAckTimeout(batch.SN)
+	})
+}
+
+func (s *Server) makeAckHandler(sn uint64, target simnet.NodeID) func(any, error) {
+	return func(resp any, err error) {
+		if err != nil {
+			// Timeout: the ack-timeout path demotes the laggard.
+			return
+		}
+		if ack, ok := resp.(AppendAck); ok {
+			s.onAppendAck(ack)
+		}
+		_ = sn
+		_ = target
+	}
+}
+
+func (s *Server) onAppendAck(ack AppendAck) {
+	if s.role != RoleActive {
+		return
+	}
+	rs, ok := s.pendingRepl[ack.SN]
+	if !ok {
+		return
+	}
+	if !ack.OK {
+		// The member has a gap: degrade it to junior (§III.C "degrades
+		// them to the junior state when necessary").
+		s.demoteMember(ack.From)
+		delete(rs.needed, ack.From)
+	} else {
+		delete(rs.needed, ack.From)
+	}
+	if len(rs.needed) == 0 {
+		if rs.timer != nil {
+			rs.timer.Stop()
+		}
+		s.tryAdvanceCommit()
+	}
+}
+
+// tryAdvanceCommit commits fully acked batches in strict sn order, waking
+// the client replies waiting on each.
+func (s *Server) tryAdvanceCommit() {
+	advanced := false
+	for {
+		next := s.committedSN + 1
+		rs, ok := s.pendingRepl[next]
+		if !ok || len(rs.needed) > 0 || rs.sspPending {
+			break
+		}
+		if rs.timer != nil {
+			rs.timer.Stop()
+		}
+		delete(s.pendingRepl, next)
+		s.committedSN = next
+		advanced = true
+		for _, w := range s.waiters[next] {
+			w(nil)
+		}
+		delete(s.waiters, next)
+		s.maybeCheckpoint(next)
+	}
+	if advanced {
+		// Tell standbys they may apply (piggybacked normally; the
+		// explicit notice keeps the tail moving when load pauses).
+		for _, t := range s.replTargets() {
+			s.node.Send(t, CommitNotice{Epoch: s.view.Epoch, Through: s.committedSN})
+		}
+	}
+}
+
+func (s *Server) onAckTimeout(sn uint64) {
+	rs, ok := s.pendingRepl[sn]
+	if !ok {
+		return
+	}
+	for t := range rs.needed {
+		s.demoteMember(t)
+		delete(rs.needed, t)
+	}
+	s.tryAdvanceCommit()
+}
+
+// demoteMember marks a group member junior in the view and notifies it.
+func (s *Server) demoteMember(id simnet.NodeID) {
+	if string(id) == s.view.Active {
+		return
+	}
+	if s.view.States[string(id)] == RoleJunior {
+		return
+	}
+	s.emit(trace.KindState, "demote-member", "member", string(id))
+	s.casView(func(v *View) bool {
+		if v.States[string(id)] == RoleJunior || v.Active == string(id) {
+			return false
+		}
+		v.States[string(id)] = RoleJunior
+		return true
+	}, func(error) {})
+	s.node.Send(id, Demote{Epoch: s.view.Epoch})
+	if s.renewTarget == id {
+		s.renewTarget = ""
+	}
+}
+
+// maybeCheckpoint saves a periodic image to the SSP.
+func (s *Server) maybeCheckpoint(sn uint64) {
+	every := s.cfg.Params.CheckpointEverySN
+	if every == 0 || sn == 0 || sn%every != 0 || sn <= s.lastImageSN {
+		return
+	}
+	s.Checkpoint(nil)
+}
+
+// Checkpoint saves the namespace image to the pool now.
+func (s *Server) Checkpoint(cb func(err error)) {
+	img := s.tree.SaveImage()
+	sn := s.committedSN
+	size := s.imageBytes()
+	s.lastImageSN, s.lastImageSize = sn, size
+	s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindImage, Seq: sn}, img, size, func(err error) {
+		if cb != nil {
+			cb(err)
+		}
+	})
+}
+
+// ---- standby-side replication ----
+
+// CommitNotice tells standbys everything at or below Through is committed.
+type CommitNotice struct {
+	Epoch   uint64
+	Through uint64
+}
+
+func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any)) {
+	if s.role != RoleStandby && !(s.role == RoleJunior && s.renewing) {
+		reply(AppendAck{From: s.cfg.ID, SN: m.Batch.SN, OK: false, LastSN: s.log.LastSN()})
+		return
+	}
+	// IO fencing: refuse journals from anyone but the current view's
+	// active (Fig. 4 step 2: "operations from the previous active will be
+	// refused by all nodes").
+	if s.view.Active != "" && string(from) != s.view.Active {
+		if m.Epoch < s.view.Epoch {
+			reply(AppendAck{From: s.cfg.ID, SN: m.Batch.SN, OK: false, LastSN: s.log.LastSN()})
+			return
+		}
+	}
+	// Commit what the active declared committed.
+	s.applyCommitted(m.CommitThrough)
+
+	sn := m.Batch.SN
+	expected := s.log.LastSN() + 1
+	if s.pendingBatch != nil {
+		expected = s.pendingBatch.SN + 1
+	}
+	switch {
+	case sn < expected:
+		// Duplicate (failover step 4 re-flush): "Only if sn from the
+		// active is larger than the current maximum serial number, the
+		// standby applies journals."
+		reply(AppendAck{From: s.cfg.ID, SN: sn, OK: true, LastSN: s.effectiveSN()})
+	case sn == expected:
+		// Charge standby CPU for the records it will apply.
+		cost := sim.Time(len(m.Batch.Records)) * s.cfg.Params.StandbyApplyPerRecord
+		now := s.node.World().Now()
+		if s.busyUntil < now {
+			s.busyUntil = now
+		}
+		s.busyUntil += cost
+		if s.pendingBatch != nil {
+			// Pipeline depth 1: an unacknowledged prepare is superseded by
+			// committing it (the active never sends sn+1 before sn is
+			// acked unless it re-flushed, which FIFO ordering prevents).
+			s.commitPending()
+		}
+		b := m.Batch
+		s.pendingBatch = &b
+		reply(AppendAck{From: s.cfg.ID, SN: sn, OK: true, LastSN: s.effectiveSN()})
+	default:
+		// Gap: we missed batches; we cannot stay hot.
+		reply(AppendAck{From: s.cfg.ID, SN: sn, OK: false, LastSN: s.log.LastSN()})
+	}
+}
+
+// applyCommitted applies the cached batch if the active committed it.
+func (s *Server) applyCommitted(through uint64) {
+	if s.pendingBatch != nil && s.pendingBatch.SN <= through {
+		s.commitPending()
+	}
+}
+
+func (s *Server) commitPending() {
+	b := s.pendingBatch
+	s.pendingBatch = nil
+	if b.SN <= s.log.LastSN() {
+		return
+	}
+	if err := s.tree.ApplyBatch(*b); err != nil {
+		// Deterministic replay cannot fail unless our state diverged from
+		// the timeline; discard everything and recover through renewing.
+		s.emit(trace.KindJournal, "replay-divergence", "err", err.Error())
+		s.hardResetToJunior()
+		s.casView(func(v *View) bool {
+			if v.States[string(s.cfg.ID)] == RoleJunior || v.Active == string(s.cfg.ID) {
+				return false
+			}
+			v.States[string(s.cfg.ID)] = RoleJunior
+			return true
+		}, func(error) {})
+		return
+	}
+	if err := s.log.Append(*b); err != nil && err != journal.ErrStale {
+		s.emit(trace.KindJournal, "append-error", "err", err.Error())
+	}
+	s.lastTx = b.LastTx()
+}
+
+func (s *Server) onCommitNotice(m CommitNotice) {
+	if s.role == RoleStandby || (s.role == RoleJunior && s.renewing) {
+		s.applyCommitted(m.Through)
+	}
+}
+
+func (s *Server) onDemote(m Demote) {
+	if s.role == RoleStandby {
+		s.role = RoleJunior
+		s.pendingBatch = nil
+		s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(m.Epoch))
+	}
+}
+
+func (s *Server) onPromote(m Promote) {
+	if s.role == RoleJunior {
+		s.role = RoleStandby
+		s.renewing = false
+		if m.LastTx > s.lastTx {
+			s.lastTx = m.LastTx
+		}
+		s.emit(trace.KindState, "promoted-standby", "epoch", fmt.Sprint(m.Epoch), "sn", fmt.Sprint(s.log.LastSN()))
+	}
+}
+
+// onRegister: the (new) active classifies a member by its journal position
+// (Fig. 4 step 5).
+func (s *Server) onRegister(m Register) {
+	if s.role != RoleActive {
+		return
+	}
+	s.renewLastSeen[m.From] = m.LastSN
+	var assigned Role
+	if m.LastSN == s.log.LastSN() {
+		assigned = RoleStandby
+	} else {
+		assigned = RoleJunior
+	}
+	s.emit(trace.KindState, "register", "member", string(m.From), "sn", fmt.Sprint(m.LastSN), "as", assigned.String())
+	s.casView(func(v *View) bool {
+		if v.Active != string(s.cfg.ID) {
+			return false
+		}
+		if v.States[string(m.From)] == assigned {
+			return false
+		}
+		v.States[string(m.From)] = assigned
+		return true
+	}, func(error) {})
+	s.node.Send(m.From, RegisterAck{Role: assigned, Epoch: s.view.Epoch})
+}
+
+func (s *Server) onRegisterAck(m RegisterAck) {
+	s.registerAcked = true
+	if s.role == RoleActive || s.upgrading {
+		return
+	}
+	switch m.Role {
+	case RoleStandby:
+		if s.role != RoleStandby {
+			s.role = RoleStandby
+			s.emit(trace.KindState, "become-standby", "epoch", fmt.Sprint(m.Epoch))
+		}
+	case RoleJunior:
+		if s.role != RoleJunior {
+			s.role = RoleJunior
+			s.pendingBatch = nil
+			s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(m.Epoch))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package mams_test
+
+import (
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/mams"
+	"mams/internal/sim"
+)
+
+// TestSyncSSPZeroLossOnGroupWipe: with synchronous SSP commit, an
+// acknowledged operation survives the simultaneous loss of every replica
+// group member, because the ack implies pool durability.
+func TestSyncSSPZeroLossOnGroupWipe(t *testing.T) {
+	for _, sync := range []bool{false, true} {
+		env := cluster.NewEnv(91)
+		params := mams.DefaultParams()
+		params.SyncSSP = sync
+		c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3, Params: params})
+		if !c.AwaitStable(30 * sim.Second) {
+			t.Fatal("not stable")
+		}
+		cli := c.NewClient(nil)
+		acked := false
+		var ackedAt sim.Time
+		env.World.Defer("op", func() {
+			cli.Create("/precious", 1, func(err error) {
+				if err == nil {
+					acked = true
+					ackedAt = env.Now()
+				}
+			})
+		})
+		for !acked && env.Now() < 30*sim.Second {
+			env.RunFor(sim.Millisecond)
+		}
+		if !acked {
+			t.Fatal("op never acked")
+		}
+		// Wipe the group at the ack instant.
+		for _, s := range c.Groups[0] {
+			s.Shutdown()
+		}
+		env.RunFor(2 * sim.Second)
+		for _, s := range c.Groups[0] {
+			s.Restart()
+		}
+		deadline := env.Now() + 120*sim.Second
+		for env.Now() < deadline && c.ActiveOf(0) == nil {
+			env.RunFor(sim.Second)
+		}
+		a := c.ActiveOf(0)
+		if a == nil {
+			t.Fatalf("sync=%v: group never recovered", sync)
+		}
+		exists := a.Tree().Exists("/precious")
+		t.Logf("sync=%v ackedAt=%v survived=%v", sync, ackedAt, exists)
+		if sync && !exists {
+			t.Fatal("sync SSP lost an acknowledged operation on group wipe")
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package mams
+
+import (
+	"fmt"
+
+	"mams/internal/journal"
+	"mams/internal/partition"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// txnState tracks one coordinated distributed transaction.
+type txnState struct {
+	id        uint64
+	op        ClientOp
+	reply     func(any)
+	needVotes map[int]bool // group index → vote outstanding
+	prepared  map[int]bool // groups that voted OK
+	undoLocal []journal.Record
+	recsByGrp map[int][]journal.Record
+	failed    bool
+	failErr   string
+	localDone bool
+	timer     *sim.Timer
+	finished  bool
+}
+
+// executeStructuralOp handles mkdir/delete/rename, which the partitioning
+// scheme may spread over several replica groups (the paper's "distributed
+// transactions in the CFS", Fig. 5).
+func (s *Server) executeStructuralOp(op ClientOp, reply func(any)) {
+	now := int64(s.node.World().Now())
+	part := s.cfg.Partitioner
+
+	var class partition.OpClass
+	var groups []int
+	recsByGrp := map[int][]journal.Record{}
+	undoByGrp := map[int][]journal.Record{}
+
+	switch op.Kind {
+	case OpMkdir:
+		class, groups = part.MkdirPlan(op.Path)
+		rec := journal.Record{Op: journal.OpMkdir, Path: op.Path, Perm: 0o755, MTime: now}
+		undo := journal.Record{Op: journal.OpDelete, Path: op.Path, MTime: now}
+		for _, g := range groups {
+			recsByGrp[g] = []journal.Record{rec}
+			undoByGrp[g] = []journal.Record{undo}
+		}
+	case OpDelete:
+		if info, err := s.tree.Stat(op.Path); err == nil && info.Dir {
+			// Directory delete updates the replicated skeleton everywhere.
+			class, groups = part.MkdirPlan(op.Path)
+			rec := journal.Record{Op: journal.OpDelete, Path: op.Path, MTime: now}
+			undo := journal.Record{Op: journal.OpMkdir, Path: op.Path, Perm: info.Perm, MTime: info.MTime}
+			for _, g := range groups {
+				recsByGrp[g] = []journal.Record{rec}
+				undoByGrp[g] = []journal.Record{undo}
+			}
+		} else {
+			class, groups = part.DeletePlan(op.Path)
+			rec := journal.Record{Op: journal.OpDelete, Path: op.Path, MTime: now}
+			size, perm := int64(0), uint16(0o644)
+			if err == nil {
+				size, perm = info.Size, info.Perm
+			}
+			undo := journal.Record{Op: journal.OpCreate, Path: op.Path, Size: size, Perm: perm, MTime: now}
+			recsByGrp[groups[0]] = []journal.Record{rec}
+			undoByGrp[groups[0]] = []journal.Record{undo}
+			for _, g := range groups[1:] {
+				// Parent-directory bookkeeping on the dir-master group.
+				recsByGrp[g] = []journal.Record{{Op: journal.OpNoop, Path: op.Path, MTime: now}}
+				undoByGrp[g] = []journal.Record{{Op: journal.OpNoop, Path: op.Path, MTime: now}}
+			}
+		}
+	case OpRename:
+		if info, err := s.tree.Stat(op.Path); err == nil && info.Dir {
+			class, groups = part.MkdirPlan(op.Path) // skeleton-wide
+			rec := journal.Record{Op: journal.OpRename, Path: op.Path, Dest: op.Dest, MTime: now}
+			undo := journal.Record{Op: journal.OpRename, Path: op.Dest, Dest: op.Path, MTime: now}
+			for _, g := range groups {
+				recsByGrp[g] = []journal.Record{rec}
+				undoByGrp[g] = []journal.Record{undo}
+			}
+		} else {
+			class, groups = part.RenamePlan(op.Path, op.Dest)
+			srcHome := part.HomeGroup(op.Path)
+			dstHome := part.HomeGroup(op.Dest)
+			size := int64(0)
+			if err == nil {
+				size = info.Size
+			}
+			if srcHome == dstHome {
+				rec := journal.Record{Op: journal.OpRename, Path: op.Path, Dest: op.Dest, MTime: now}
+				undo := journal.Record{Op: journal.OpRename, Path: op.Dest, Dest: op.Path, MTime: now}
+				recsByGrp[srcHome] = []journal.Record{rec}
+				undoByGrp[srcHome] = []journal.Record{undo}
+			} else {
+				// The file entry migrates between home groups.
+				recsByGrp[srcHome] = []journal.Record{{Op: journal.OpDelete, Path: op.Path, MTime: now}}
+				undoByGrp[srcHome] = []journal.Record{{Op: journal.OpCreate, Path: op.Path, Size: size, Perm: 0o644, MTime: now}}
+				recsByGrp[dstHome] = []journal.Record{{Op: journal.OpCreate, Path: op.Dest, Size: size, Perm: 0o644, MTime: now}}
+				undoByGrp[dstHome] = []journal.Record{{Op: journal.OpDelete, Path: op.Dest, MTime: now}}
+			}
+			for _, g := range groups {
+				if _, ok := recsByGrp[g]; !ok {
+					recsByGrp[g] = []journal.Record{{Op: journal.OpNoop, Path: op.Path, MTime: now}}
+					undoByGrp[g] = []journal.Record{{Op: journal.OpNoop, Path: op.Path, MTime: now}}
+				}
+			}
+		}
+	default:
+		s.finishOp(op, OpReply{Err: "mams: not a structural op"}, reply)
+		return
+	}
+
+	myGroup := s.cfg.GroupIndex
+	localRecs, involvesMe := recsByGrp[myGroup]
+	if class == partition.ClassLocal || (len(groups) == 1 && groups[0] == myGroup) {
+		if !involvesMe {
+			// The client routed to the wrong group; tell it to re-plan.
+			s.finishOp(op, OpReply{Err: "mams: wrong coordinator group"}, reply)
+			return
+		}
+		// Validate first so failures never enter the journal.
+		for _, r := range localRecs {
+			if err := validateRecord(s.tree, r); err != nil {
+				s.finishOp(op, OpReply{Err: err.Error()}, reply)
+				return
+			}
+		}
+		s.applyAndJournal(op, localRecs, reply)
+		return
+	}
+
+	// Distributed transaction: we coordinate (the client routes to the
+	// plan's lead group).
+	for _, r := range localRecs {
+		if err := validateRecord(s.tree, r); err != nil {
+			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			return
+		}
+	}
+	s.txnSeq++
+	txn := &txnState{
+		id:        s.txnSeq<<16 | uint64(s.cfg.GroupIndex),
+		op:        op,
+		reply:     reply,
+		needVotes: map[int]bool{},
+		prepared:  map[int]bool{},
+		undoLocal: undoByGrp[myGroup],
+		recsByGrp: recsByGrp,
+	}
+	s.txnPending[txn.id] = txn
+	// Coordinator-side 2PC bookkeeping cost.
+	now2 := s.node.World().Now()
+	if s.busyUntil < now2 {
+		s.busyUntil = now2
+	}
+	s.busyUntil += s.cfg.Params.TxnOverhead
+	s.emit(trace.KindJournal, "txn-start", "op", op.Kind.String(), "groups", fmt.Sprint(len(groups)))
+
+	// Apply locally; the local commit counts as our own vote.
+	if involvesMe {
+		s.applyAndJournalTxn(txn, localRecs)
+	} else {
+		txn.localDone = true
+	}
+	for _, g := range groups {
+		if g == myGroup {
+			continue
+		}
+		txn.needVotes[g] = true
+		s.sendPrepare(txn, g, recsByGrp[g], 0)
+	}
+	txn.timer = s.node.After(2*sim.Second, "mams-txn-timeout", func() {
+		s.txnTimeout(txn)
+	})
+	s.maybeFinishTxn(txn)
+}
+
+// applyAndJournalTxn applies the coordinator's records and marks localDone
+// when its batch commits.
+func (s *Server) applyAndJournalTxn(txn *txnState, recs []journal.Record) {
+	for i := range recs {
+		tx := s.builder.Add(recs[i])
+		recs[i].TxID = tx
+		if err := s.tree.Apply(recs[i]); err != nil {
+			s.emit(trace.KindJournal, "txn-local-apply-failed", "err", err.Error())
+		}
+	}
+	sn := s.log.LastSN() + 1
+	s.waiters[sn] = append(s.waiters[sn], func(err error) {
+		if err != nil {
+			txn.failed = true
+			txn.failErr = err.Error()
+		}
+		txn.localDone = true
+		s.maybeFinishTxn(txn)
+	})
+}
+
+// sendPrepare resolves the target group's active and ships the prepare.
+func (s *Server) sendPrepare(txn *txnState, group int, recs []journal.Record, attempt int) {
+	if attempt > 3 || txn.finished {
+		if !txn.finished {
+			txn.failed = true
+			txn.failErr = "mams: participant unreachable"
+			delete(txn.needVotes, group)
+			s.maybeFinishTxn(txn)
+		}
+		return
+	}
+	s.resolveGroupActive(group, attempt, func(active simnet.NodeID) {
+		if active == "" {
+			s.node.After(300*sim.Millisecond, "mams-txn-retry", func() {
+				s.sendPrepare(txn, group, recs, attempt+1)
+			})
+			return
+		}
+		s.node.Call(active, TxnPrepare{TxnID: txn.id, From: s.cfg.ID, Records: recs},
+			sim.Second, func(resp any, err error) {
+				if txn.finished {
+					return
+				}
+				if err != nil {
+					s.sendPrepare(txn, group, recs, attempt+1)
+					return
+				}
+				vote, ok := resp.(TxnVote)
+				if !ok {
+					s.sendPrepare(txn, group, recs, attempt+1)
+					return
+				}
+				delete(txn.needVotes, group)
+				if vote.OK {
+					txn.prepared[group] = true
+				} else {
+					txn.failed = true
+					txn.failErr = vote.Err
+				}
+				s.maybeFinishTxn(txn)
+			})
+	})
+}
+
+// resolveGroupActive finds another group's active via WhoIsActive.
+func (s *Server) resolveGroupActive(group int, attempt int, cb func(simnet.NodeID)) {
+	if group < 0 || group >= len(s.cfg.AllGroups) {
+		cb("")
+		return
+	}
+	members := s.cfg.AllGroups[group]
+	if len(members) == 0 {
+		cb("")
+		return
+	}
+	target := members[attempt%len(members)]
+	s.node.Call(target, WhoIsActive{}, 300*sim.Millisecond, func(resp any, err error) {
+		if err != nil {
+			cb("")
+			return
+		}
+		if ai, ok := resp.(ActiveIs); ok && ai.Active != "" {
+			cb(ai.Active)
+			return
+		}
+		cb("")
+	})
+}
+
+// maybeFinishTxn completes the transaction once the local batch committed
+// and every participant voted.
+func (s *Server) maybeFinishTxn(txn *txnState) {
+	if txn.finished || !txn.localDone || len(txn.needVotes) > 0 {
+		return
+	}
+	txn.finished = true
+	if txn.timer != nil {
+		txn.timer.Stop()
+	}
+	delete(s.txnPending, txn.id)
+	if txn.failed {
+		// Compensate locally and on every prepared participant.
+		s.compensateLocal(txn)
+		for g := range txn.prepared {
+			g := g
+			s.resolveGroupActive(g, 0, func(active simnet.NodeID) {
+				if active != "" {
+					s.node.Send(active, TxnAbort{TxnID: txn.id})
+				}
+			})
+		}
+		errStr := txn.failErr
+		if errStr == "" {
+			errStr = "mams: transaction aborted"
+		}
+		s.finishOp(txn.op, OpReply{Err: errStr}, txn.reply)
+		return
+	}
+	s.finishOp(txn.op, OpReply{}, txn.reply)
+}
+
+func (s *Server) compensateLocal(txn *txnState) {
+	if s.role != RoleActive || s.builder == nil {
+		return
+	}
+	for _, u := range txn.undoLocal {
+		if u.Op == journal.OpNoop {
+			continue
+		}
+		if err := validateRecord(s.tree, u); err != nil {
+			continue // already rolled back or racing client op
+		}
+		tx := s.builder.Add(u)
+		u.TxID = tx
+		_ = s.tree.Apply(u)
+	}
+}
+
+func (s *Server) txnTimeout(txn *txnState) {
+	if txn.finished {
+		return
+	}
+	txn.failed = true
+	if txn.failErr == "" {
+		txn.failErr = "mams: transaction timeout"
+	}
+	txn.needVotes = map[int]bool{}
+	txn.localDone = true
+	s.maybeFinishTxn(txn)
+}
+
+// ---- participant side ----
+
+// preparedTxn remembers a participant-side transaction so duplicates ack
+// idempotently and aborts can compensate.
+type preparedTxn struct {
+	undo []journal.Record
+	ok   bool
+}
+
+// onTxnPrepare validates, applies and journals the participant's share,
+// voting OK once the records are in the pipeline.
+func (s *Server) onTxnPrepare(from simnet.NodeID, m TxnPrepare, reply func(any)) {
+	if s.role != RoleActive || s.builder == nil {
+		reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: "mams: not active"})
+		return
+	}
+	if s.preparedTxns == nil {
+		s.preparedTxns = map[uint64]*preparedTxn{}
+	}
+	if prev, dup := s.preparedTxns[m.TxnID]; dup {
+		reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: prev.ok})
+		return
+	}
+	// Queue through the participant's CPU like any other operation, plus
+	// the 2PC bookkeeping overhead.
+	svc := s.cfg.Params.TxnOverhead
+	for _, r := range m.Records {
+		switch r.Op {
+		case journal.OpMkdir:
+			svc += s.cfg.Params.MkdirSvc
+		case journal.OpDelete:
+			svc += s.cfg.Params.DeleteSvc
+		case journal.OpRename, journal.OpCreate:
+			svc += s.cfg.Params.RenameSvc
+		default:
+			// Noop records stand for real parent-directory bookkeeping on
+			// the dir-master group.
+			svc += s.cfg.Params.DeleteSvc
+		}
+	}
+	now := s.node.World().Now()
+	if s.busyUntil < now {
+		s.busyUntil = now
+	}
+	s.busyUntil += svc
+	s.node.After(s.busyUntil-now, "mams-txn-prepare", func() {
+		if s.role != RoleActive || s.builder == nil {
+			reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: "mams: not active"})
+			return
+		}
+		var undo []journal.Record
+		for _, r := range m.Records {
+			if r.Op == journal.OpNoop {
+				tx := s.builder.Add(r)
+				_ = tx
+				continue
+			}
+			if err := validateRecord(s.tree, r); err != nil {
+				s.preparedTxns[m.TxnID] = &preparedTxn{ok: false}
+				reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: err.Error()})
+				return
+			}
+			tx := s.builder.Add(r)
+			r.TxID = tx
+			_ = s.tree.Apply(r)
+			undo = append(undo, invertRecord(r))
+		}
+		s.preparedTxns[m.TxnID] = &preparedTxn{undo: undo, ok: true}
+		reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: true})
+	})
+}
+
+// invertRecord builds the compensating record for an applied record.
+func invertRecord(r journal.Record) journal.Record {
+	switch r.Op {
+	case journal.OpMkdir:
+		return journal.Record{Op: journal.OpDelete, Path: r.Path, MTime: r.MTime}
+	case journal.OpCreate:
+		return journal.Record{Op: journal.OpDelete, Path: r.Path, MTime: r.MTime}
+	case journal.OpDelete:
+		return journal.Record{Op: journal.OpCreate, Path: r.Path, Size: r.Size, Perm: r.Perm, MTime: r.MTime}
+	case journal.OpRename:
+		return journal.Record{Op: journal.OpRename, Path: r.Dest, Dest: r.Path, MTime: r.MTime}
+	default:
+		return journal.Record{Op: journal.OpNoop, Path: r.Path}
+	}
+}
+
+func (s *Server) onTxnVote(m TxnVote) {
+	// Votes normally arrive through the RPC response path; this handler
+	// covers re-sent votes, which are safe to ignore.
+}
+
+// onTxnAbort compensates a prepared transaction.
+func (s *Server) onTxnAbort(m TxnAbort) {
+	if s.preparedTxns == nil {
+		return
+	}
+	pt, ok := s.preparedTxns[m.TxnID]
+	if !ok || !pt.ok {
+		return
+	}
+	delete(s.preparedTxns, m.TxnID)
+	if s.role != RoleActive || s.builder == nil {
+		return
+	}
+	for i := len(pt.undo) - 1; i >= 0; i-- {
+		u := pt.undo[i]
+		if err := validateRecord(s.tree, u); err != nil {
+			continue
+		}
+		tx := s.builder.Add(u)
+		u.TxID = tx
+		_ = s.tree.Apply(u)
+	}
+}

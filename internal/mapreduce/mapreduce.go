@@ -1,0 +1,295 @@
+// Package mapreduce implements a miniature MapReduce engine over the
+// simulated file system, reproducing the paper's §IV.D experiment: a
+// wordcount job whose tasks create, stat and write files through the
+// metadata service, so a metadata-server failure mid-job stalls task
+// completions until failover finishes.
+//
+// The dependency structure matters and is faithfully modeled: reduce tasks
+// cannot start before every map task has written its intermediate outputs
+// into the file system ("the reduce jobs needed the former to write
+// intermediate results into the file system before continuing").
+package mapreduce
+
+import (
+	"fmt"
+
+	"mams/internal/cluster"
+	"mams/internal/fsclient"
+	"mams/internal/namespace"
+	"mams/internal/sim"
+)
+
+// JobConfig sizes a wordcount-style job.
+type JobConfig struct {
+	Name string
+	// InputBytes is the total input (the paper: 5 GB).
+	InputBytes int64
+	// SplitBytes is the input split size (64 MB ⇒ 80 maps for 5 GB).
+	SplitBytes int64
+	// Reducers is the reduce-task count.
+	Reducers int
+	// Workers is the number of concurrent task slots in the cluster.
+	Workers int
+	// MapByteRate is map-function throughput in bytes/second of input.
+	MapByteRate float64
+	// ReducePerMapCost is the reduce-side merge cost per map output.
+	ReducePerMapCost sim.Time
+}
+
+// DefaultJob mirrors the paper's wordcount setup.
+func DefaultJob() JobConfig {
+	return JobConfig{
+		Name:       "wordcount",
+		InputBytes: 5 << 30,
+		SplitBytes: 64 << 20,
+		Reducers:   8,
+		Workers:    16,
+		// A 2008-era core runs wordcount at ~12 MB/s, giving the paper's
+		// minutes-long job on a small cluster.
+		MapByteRate:      12e6,
+		ReducePerMapCost: 150 * sim.Millisecond,
+	}
+}
+
+// Maps returns the number of map tasks.
+func (c JobConfig) Maps() int {
+	n := int((c.InputBytes + c.SplitBytes - 1) / c.SplitBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Result reports task completion times (virtual).
+type Result struct {
+	Start      sim.Time
+	MapDone    []sim.Time // per map task, completion time
+	ReduceDone []sim.Time // per reduce task
+	JobDone    sim.Time
+}
+
+// MapCompletionCDF returns, for each time offset (relative to Start, in
+// step buckets), the percentage of map tasks complete.
+func (r Result) MapCompletionCDF(step sim.Time, horizon sim.Time) []float64 {
+	return cdf(r.MapDone, r.Start, step, horizon)
+}
+
+// ReduceCompletionCDF is the reduce-side analogue.
+func (r Result) ReduceCompletionCDF(step sim.Time, horizon sim.Time) []float64 {
+	return cdf(r.ReduceDone, r.Start, step, horizon)
+}
+
+func cdf(times []sim.Time, start, step, horizon sim.Time) []float64 {
+	n := int(horizon/step) + 1
+	out := make([]float64, n)
+	if len(times) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		cut := start + sim.Time(i)*step
+		done := 0
+		for _, t := range times {
+			if t > 0 && t <= cut {
+				done++
+			}
+		}
+		out[i] = 100 * float64(done) / float64(len(times))
+	}
+	return out
+}
+
+// Job is a running MapReduce job.
+type Job struct {
+	cfg     JobConfig
+	env     *cluster.Env
+	clients []*fsclient.Client
+	res     *Result
+
+	mapQueue    []int
+	reduceQueue []int
+	mapsLeft    int
+	reducesLeft int
+	done        bool
+	onDone      func(Result)
+}
+
+// NewJob prepares a job against the given system. It creates one client
+// per worker slot.
+func NewJob(env *cluster.Env, sys cluster.System, cfg JobConfig) *Job {
+	j := &Job{cfg: cfg, env: env}
+	for i := 0; i < cfg.Workers; i++ {
+		j.clients = append(j.clients, sys.NewClient(nil))
+	}
+	return j
+}
+
+// Run starts the job and invokes onDone when the last reduce finishes. The
+// caller advances the world.
+func (j *Job) Run(onDone func(Result)) {
+	j.onDone = onDone
+	maps := j.cfg.Maps()
+	j.res = &Result{
+		Start:      j.env.Now(),
+		MapDone:    make([]sim.Time, maps),
+		ReduceDone: make([]sim.Time, j.cfg.Reducers),
+	}
+	j.mapsLeft = maps
+	j.reducesLeft = j.cfg.Reducers
+	for m := 0; m < maps; m++ {
+		j.mapQueue = append(j.mapQueue, m)
+	}
+	for r := 0; r < j.cfg.Reducers; r++ {
+		j.reduceQueue = append(j.reduceQueue, r)
+	}
+	// Job setup: directories plus one input file per split.
+	base := "/" + j.cfg.Name
+	cli := j.clients[0]
+	cli.Mkdir(base, func(error) {
+		cli.Mkdir(base+"/input", func(error) {
+			cli.Mkdir(base+"/tmp", func(error) {
+				cli.Mkdir(base+"/out", func(error) {
+					pending := maps
+					for m := 0; m < maps; m++ {
+						m := m
+						j.clients[m%len(j.clients)].Create(
+							fmt.Sprintf("%s/input/split-%04d", base, m), j.cfg.SplitBytes,
+							func(error) {
+								pending--
+								if pending == 0 {
+									j.startWorkers()
+								}
+							})
+					}
+				})
+			})
+		})
+	})
+}
+
+// startWorkers launches the task slots.
+func (j *Job) startWorkers() {
+	for w := 0; w < j.cfg.Workers; w++ {
+		j.schedule(w)
+	}
+}
+
+// schedule assigns the next task to worker w.
+func (j *Job) schedule(w int) {
+	if j.done {
+		return
+	}
+	if len(j.mapQueue) > 0 {
+		m := j.mapQueue[0]
+		j.mapQueue = j.mapQueue[1:]
+		j.runMap(w, m)
+		return
+	}
+	if j.mapsLeft > 0 {
+		// Shuffle barrier: reduces wait for all maps. Idle-poll briefly.
+		j.clients[w].Node().After(200*sim.Millisecond, "mr-idle", func() { j.schedule(w) })
+		return
+	}
+	if len(j.reduceQueue) > 0 {
+		r := j.reduceQueue[0]
+		j.reduceQueue = j.reduceQueue[1:]
+		j.runReduce(w, r)
+		return
+	}
+}
+
+// runMap executes one map task: read the split's metadata, compute, then
+// write one intermediate file per reducer.
+func (j *Job) runMap(w, m int) {
+	cli := j.clients[w]
+	base := "/" + j.cfg.Name
+	cli.Stat(fmt.Sprintf("%s/input/split-%04d", base, m), func(_ *statInfo, err error) {
+		// Even on error (retries exhausted mid-failover) the scheduler
+		// re-runs the task, like Hadoop's task retry.
+		if err != nil {
+			j.mapQueue = append(j.mapQueue, m)
+			j.schedule(w)
+			return
+		}
+		compute := sim.Time(float64(j.cfg.SplitBytes) / j.cfg.MapByteRate * float64(sim.Second))
+		cli.Node().After(compute, "mr-map-compute", func() {
+			pending := j.cfg.Reducers
+			failed := false
+			for r := 0; r < j.cfg.Reducers; r++ {
+				path := fmt.Sprintf("%s/tmp/m%04d-r%02d", base, m, r)
+				cli.Create(path, 1<<20, func(err error) {
+					// A re-executed task finding its own earlier output
+					// counts as success (Hadoop task idempotency).
+					if err != nil && err.Error() != namespace.ErrExists.Error() {
+						failed = true
+					}
+					pending--
+					if pending > 0 {
+						return
+					}
+					if failed {
+						j.mapQueue = append(j.mapQueue, m)
+						j.schedule(w)
+						return
+					}
+					if j.res.MapDone[m] == 0 {
+						j.res.MapDone[m] = j.env.Now()
+						j.mapsLeft--
+					}
+					j.schedule(w)
+				})
+			}
+		})
+	})
+}
+
+// runReduce executes one reduce task: stat every map's intermediate file
+// (the shuffle), merge, and write the output partition.
+func (j *Job) runReduce(w, r int) {
+	cli := j.clients[w]
+	base := "/" + j.cfg.Name
+	maps := j.cfg.Maps()
+	pending := maps
+	failed := false
+	for m := 0; m < maps; m++ {
+		path := fmt.Sprintf("%s/tmp/m%04d-r%02d", base, m, r)
+		cli.Stat(path, func(_ *statInfo, err error) {
+			if err != nil {
+				failed = true
+			}
+			pending--
+			if pending > 0 {
+				return
+			}
+			if failed {
+				j.reduceQueue = append(j.reduceQueue, r)
+				j.schedule(w)
+				return
+			}
+			merge := sim.Time(maps) * j.cfg.ReducePerMapCost
+			cli.Node().After(merge, "mr-reduce-merge", func() {
+				cli.Create(fmt.Sprintf("%s/out/part-%02d", base, r), 8<<20, func(err error) {
+					if err != nil && err.Error() != namespace.ErrExists.Error() {
+						j.reduceQueue = append(j.reduceQueue, r)
+						j.schedule(w)
+						return
+					}
+					if j.res.ReduceDone[r] == 0 {
+						j.res.ReduceDone[r] = j.env.Now()
+						j.reducesLeft--
+					}
+					if j.reducesLeft == 0 && !j.done {
+						j.done = true
+						j.res.JobDone = j.env.Now()
+						if j.onDone != nil {
+							j.onDone(*j.res)
+						}
+						return
+					}
+					j.schedule(w)
+				})
+			})
+		})
+	}
+}
+
+type statInfo = namespace.Info

@@ -1,0 +1,141 @@
+package mapreduce_test
+
+import (
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/mapreduce"
+	"mams/internal/sim"
+)
+
+func smallJob() mapreduce.JobConfig {
+	cfg := mapreduce.DefaultJob()
+	cfg.InputBytes = 512 << 20 // 8 maps
+	cfg.Reducers = 4
+	cfg.Workers = 6
+	return cfg
+}
+
+func runJob(t *testing.T, env *cluster.Env, sys cluster.System, cfg mapreduce.JobConfig,
+	faultAt sim.Time, inject func()) mapreduce.Result {
+	t.Helper()
+	if !sys.AwaitReady(60 * sim.Second) {
+		t.Fatal("system not ready")
+	}
+	job := mapreduce.NewJob(env, sys, cfg)
+	var res mapreduce.Result
+	done := false
+	env.World.Defer("job-start", func() {
+		job.Run(func(r mapreduce.Result) { res, done = r, true })
+	})
+	if inject != nil {
+		env.World.After(faultAt, "job-fault", inject)
+	}
+	deadline := env.Now() + 3600*sim.Second
+	for !done && env.Now() < deadline {
+		env.RunFor(sim.Second)
+	}
+	if !done {
+		t.Fatal("job never completed")
+	}
+	return res
+}
+
+func TestJobCompletesWithoutFailure(t *testing.T) {
+	env := cluster.NewEnv(41)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2})
+	sys := c.AsSystem()
+	cfg := smallJob()
+	res := runJob(t, env, sys, cfg, 0, nil)
+
+	if len(res.MapDone) != cfg.Maps() {
+		t.Fatalf("maps = %d", len(res.MapDone))
+	}
+	for i, d := range res.MapDone {
+		if d == 0 {
+			t.Fatalf("map %d never completed", i)
+		}
+	}
+	for i, d := range res.ReduceDone {
+		if d == 0 {
+			t.Fatalf("reduce %d never completed", i)
+		}
+	}
+	// Reduce barrier: no reduce may finish before the last map.
+	lastMap := sim.Time(0)
+	for _, d := range res.MapDone {
+		if d > lastMap {
+			lastMap = d
+		}
+	}
+	for i, d := range res.ReduceDone {
+		if d < lastMap {
+			t.Fatalf("reduce %d finished before the map barrier (%v < %v)", i, d, lastMap)
+		}
+	}
+	if res.JobDone <= res.Start {
+		t.Fatal("job done time not recorded")
+	}
+}
+
+func TestJobSurvivesMDSFailover(t *testing.T) {
+	env := cluster.NewEnv(42)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	sys := c.AsSystem()
+	cfg := smallJob()
+
+	// Baseline run (separate env for a clean comparison).
+	envB := cluster.NewEnv(43)
+	cB := cluster.BuildMAMS(envB, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	base := runJob(t, envB, cB.AsSystem(), cfg, 0, nil)
+	baseRuntime := base.JobDone - base.Start
+
+	res := runJob(t, env, sys, cfg, 8*sim.Second, func() { sys.CrashPrimary() })
+	runtime := res.JobDone - res.Start
+	if runtime <= baseRuntime {
+		t.Fatalf("failure-free run (%v) should be faster than failover run (%v)", baseRuntime, runtime)
+	}
+	// MAMS recovers in ~6 s; the job must not stall much longer than that.
+	if runtime > baseRuntime+20*sim.Second {
+		t.Fatalf("failover cost too high: %v vs %v", runtime, baseRuntime)
+	}
+}
+
+func TestCompletionCDFMonotonic(t *testing.T) {
+	env := cluster.NewEnv(44)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 1})
+	res := runJob(t, env, c.AsSystem(), smallJob(), 0, nil)
+	cdf := res.MapCompletionCDF(sim.Second, res.JobDone-res.Start+sim.Second)
+	prev := -1.0
+	for i, v := range cdf {
+		if v < prev {
+			t.Fatalf("CDF not monotonic at %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+	if cdf[len(cdf)-1] != 100 {
+		t.Fatalf("final map completion = %v%%", cdf[len(cdf)-1])
+	}
+}
+
+func TestJobOnBoomFSSlowerUnderFailure(t *testing.T) {
+	cfg := smallJob()
+
+	run := func(seed uint64, build func(env *cluster.Env) cluster.System) sim.Time {
+		env := cluster.NewEnv(seed)
+		sys := build(env)
+		res := runJob(t, env, sys, cfg, 8*sim.Second, func() { sys.CrashPrimary() })
+		return res.JobDone - res.Start
+	}
+	mamsTime := run(45, func(env *cluster.Env) cluster.System {
+		return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 3, BackupsPerGroup: 3}).AsSystem()
+	})
+	boomTime := run(46, func(env *cluster.Env) cluster.System {
+		return cluster.BuildBoomFS(env, cluster.BaselineSpec{})
+	})
+	// Figure 9: the CFS job finishes faster than Boom-FS under a metadata
+	// failure (28.13% for maps in the paper).
+	if mamsTime >= boomTime {
+		t.Fatalf("MAMS job (%v) should beat Boom-FS (%v) under failure", mamsTime, boomTime)
+	}
+}

@@ -1,0 +1,201 @@
+// Package metrics turns raw client operation records into the quantities
+// the paper reports: throughput (ops/s), time series of requests per
+// second (Fig. 8), and mean time to recovery (Table I).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mams/internal/fsclient"
+	"mams/internal/sim"
+)
+
+// Collector accumulates operation results from any number of clients.
+type Collector struct {
+	Results []fsclient.Result
+}
+
+// Observe is the fsclient.Config.OnResult hook.
+func (c *Collector) Observe(r fsclient.Result) { c.Results = append(c.Results, r) }
+
+// Len returns the number of recorded operations.
+func (c *Collector) Len() int { return len(c.Results) }
+
+// Reset clears the collector.
+func (c *Collector) Reset() { c.Results = c.Results[:0] }
+
+// Successes counts successful operations in [from, to).
+func (c *Collector) Successes(from, to sim.Time) int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Err == nil && r.End >= from && r.End < to {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures counts failed operations in [from, to).
+func (c *Collector) Failures(from, to sim.Time) int {
+	n := 0
+	for _, r := range c.Results {
+		if r.Err != nil && r.End >= from && r.End < to {
+			n++
+		}
+	}
+	return n
+}
+
+// Throughput returns successful ops per second over [from, to).
+func (c *Collector) Throughput(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(c.Successes(from, to)) / (to - from).Seconds()
+}
+
+// MeanLatency returns the mean latency of successes in [from, to).
+func (c *Collector) MeanLatency(from, to sim.Time) sim.Time {
+	var sum sim.Time
+	n := 0
+	for _, r := range c.Results {
+		if r.Err == nil && r.End >= from && r.End < to {
+			sum += r.End - r.Start
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / sim.Time(n)
+}
+
+// MTTR computes the paper's recovery metric for a fault injected at
+// faultAt: the gap between the last acknowledged operation before (or at)
+// the outage and the first acknowledged operation after it — i.e. the
+// largest success gap that spans the fault instant.
+func (c *Collector) MTTR(faultAt sim.Time) (sim.Time, bool) {
+	var ends []sim.Time
+	for _, r := range c.Results {
+		if r.Err == nil {
+			ends = append(ends, r.End)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	if len(ends) == 0 {
+		return 0, false
+	}
+	// Find the success gap containing faultAt.
+	prev := sim.Time(-1)
+	for _, e := range ends {
+		if e >= faultAt && prev >= 0 && prev <= faultAt {
+			return e - prev, true
+		}
+		if e > faultAt && prev < 0 {
+			return 0, false // no pre-fault success observed
+		}
+		prev = e
+	}
+	return 0, false // service never recovered in the observation window
+}
+
+// Series bins successful completions into fixed windows — the requests/sec
+// curves of Figure 8.
+type Series struct {
+	Bucket sim.Time
+	Start  sim.Time
+	Counts []int
+}
+
+// NewSeries creates a series with the given bucket width.
+func NewSeries(start, bucket sim.Time) *Series {
+	return &Series{Bucket: bucket, Start: start}
+}
+
+// Add records one completion at time t.
+func (s *Series) Add(t sim.Time) {
+	if t < s.Start {
+		return
+	}
+	idx := int((t - s.Start) / s.Bucket)
+	for len(s.Counts) <= idx {
+		s.Counts = append(s.Counts, 0)
+	}
+	s.Counts[idx]++
+}
+
+// Rate returns bucket i's throughput in ops/s.
+func (s *Series) Rate(i int) float64 {
+	if i < 0 || i >= len(s.Counts) {
+		return 0
+	}
+	return float64(s.Counts[i]) / s.Bucket.Seconds()
+}
+
+// Rates returns every bucket's throughput.
+func (s *Series) Rates() []float64 {
+	out := make([]float64, len(s.Counts))
+	for i := range s.Counts {
+		out[i] = s.Rate(i)
+	}
+	return out
+}
+
+// MinRateIn returns the lowest bucket rate in [from, to) relative to the
+// series start.
+func (s *Series) MinRateIn(from, to sim.Time) float64 {
+	lo := int(from / s.Bucket)
+	hi := int(to / s.Bucket)
+	min := math.Inf(1)
+	for i := lo; i < hi && i < len(s.Counts); i++ {
+		if r := s.Rate(i); r < min {
+			min = r
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Stats summarizes a sample.
+type Stats struct {
+	N              int
+	Mean, Min, Max float64
+	StdDev         float64
+}
+
+// Summarize computes basic statistics.
+func Summarize(samples []float64) Stats {
+	st := Stats{N: len(samples)}
+	if st.N == 0 {
+		return st
+	}
+	st.Min, st.Max = samples[0], samples[0]
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(st.N)
+	varsum := 0.0
+	for _, v := range samples {
+		d := v - st.Mean
+		varsum += d * d
+	}
+	if st.N > 1 {
+		st.StdDev = math.Sqrt(varsum / float64(st.N-1))
+	}
+	return st
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f", s.N, s.Mean, s.Min, s.Max, s.StdDev)
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mams/internal/fsclient"
+	"mams/internal/sim"
+)
+
+func ok(end sim.Time) fsclient.Result {
+	return fsclient.Result{Start: end - sim.Millisecond, End: end}
+}
+
+func bad(end sim.Time) fsclient.Result {
+	return fsclient.Result{Start: end - sim.Millisecond, End: end, Err: errors.New("x")}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := &Collector{}
+	c.Observe(ok(1 * sim.Second))
+	c.Observe(ok(2 * sim.Second))
+	c.Observe(bad(3 * sim.Second))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Successes(0, 10*sim.Second) != 2 || c.Failures(0, 10*sim.Second) != 1 {
+		t.Fatal("success/failure counting broken")
+	}
+	// Window bounds are [from, to).
+	if c.Successes(2*sim.Second, 3*sim.Second) != 1 {
+		t.Fatal("window not half-open")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := &Collector{}
+	for i := 1; i <= 100; i++ {
+		c.Observe(ok(sim.Time(i) * 100 * sim.Millisecond))
+	}
+	tput := c.Throughput(0, 10*sim.Second)
+	if tput < 9.9 || tput > 10.1 {
+		t.Fatalf("throughput = %v", tput)
+	}
+	if c.Throughput(5*sim.Second, 5*sim.Second) != 0 {
+		t.Fatal("empty window should be 0")
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	c := &Collector{}
+	c.Observe(fsclient.Result{Start: 0, End: 2 * sim.Millisecond})
+	c.Observe(fsclient.Result{Start: 0, End: 4 * sim.Millisecond})
+	if got := c.MeanLatency(0, sim.Second); got != 3*sim.Millisecond {
+		t.Fatalf("mean latency = %v", got)
+	}
+	if c.MeanLatency(10*sim.Second, 20*sim.Second) != 0 {
+		t.Fatal("empty window latency should be 0")
+	}
+}
+
+func TestMTTRFindsGapSpanningFault(t *testing.T) {
+	c := &Collector{}
+	// Steady successes, outage between 10s and 16.5s.
+	for i := 1; i <= 10; i++ {
+		c.Observe(ok(sim.Time(i) * sim.Second))
+	}
+	c.Observe(ok(16500 * sim.Millisecond))
+	c.Observe(ok(17 * sim.Second))
+	mttr, found := c.MTTR(10500 * sim.Millisecond) // fault inside the gap
+	if !found {
+		t.Fatal("MTTR not found")
+	}
+	if mttr != 6500*sim.Millisecond {
+		t.Fatalf("MTTR = %v", mttr)
+	}
+}
+
+func TestMTTRNoRecovery(t *testing.T) {
+	c := &Collector{}
+	c.Observe(ok(1 * sim.Second))
+	if _, found := c.MTTR(2 * sim.Second); found {
+		t.Fatal("MTTR without recovery should not be found")
+	}
+}
+
+func TestMTTRNoPreFaultSuccess(t *testing.T) {
+	c := &Collector{}
+	c.Observe(ok(10 * sim.Second))
+	if _, found := c.MTTR(2 * sim.Second); found {
+		t.Fatal("MTTR without pre-fault success should not be found")
+	}
+}
+
+func TestMTTRNoOutage(t *testing.T) {
+	c := &Collector{}
+	for i := 1; i <= 20; i++ {
+		c.Observe(ok(sim.Time(i) * 100 * sim.Millisecond))
+	}
+	mttr, found := c.MTTR(1050 * sim.Millisecond)
+	if !found || mttr > 200*sim.Millisecond {
+		t.Fatalf("healthy stream MTTR = %v found=%v", mttr, found)
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	s := NewSeries(0, sim.Second)
+	s.Add(100 * sim.Millisecond)
+	s.Add(900 * sim.Millisecond)
+	s.Add(1100 * sim.Millisecond)
+	if s.Rate(0) != 2 || s.Rate(1) != 1 || s.Rate(2) != 0 {
+		t.Fatalf("rates = %v", s.Rates())
+	}
+	s.Add(-sim.Second) // before start: ignored
+	if s.Rate(0) != 2 {
+		t.Fatal("pre-start sample counted")
+	}
+	if s.Rate(-1) != 0 {
+		t.Fatal("negative index should be 0")
+	}
+}
+
+func TestSeriesMinRateIn(t *testing.T) {
+	s := NewSeries(0, sim.Second)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 5; j++ {
+			s.Add(sim.Time(i)*sim.Second + sim.Time(j)*10*sim.Millisecond)
+		}
+	}
+	// Carve an outage at bucket 5 by making a fresh series.
+	s2 := NewSeries(0, sim.Second)
+	for i := 0; i < 10; i++ {
+		if i == 5 {
+			continue
+		}
+		s2.Add(sim.Time(i)*sim.Second + sim.Millisecond)
+	}
+	if s2.MinRateIn(3*sim.Second, 8*sim.Second) != 0 {
+		t.Fatal("outage bucket not detected")
+	}
+	if s.MinRateIn(0, 10*sim.Second) != 5 {
+		t.Fatalf("min rate = %v", s.MinRateIn(0, 10*sim.Second))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{1, 2, 3, 4})
+	if st.N != 4 || st.Mean != 2.5 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.StdDev < 1.29 || st.StdDev > 1.30 {
+		t.Fatalf("stddev = %v", st.StdDev)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summarize broken")
+	}
+	if st.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestPropertySeriesTotalMatchesAdds(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewSeries(0, sim.Second)
+		for _, o := range offsets {
+			s.Add(sim.Time(o) * sim.Millisecond)
+		}
+		total := 0
+		for i := range s.Counts {
+			total += s.Counts[i]
+		}
+		return total == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package namespace
+
+import (
+	"fmt"
+	"testing"
+
+	"mams/internal/journal"
+)
+
+func benchTree(b *testing.B, files int) *Tree {
+	b.Helper()
+	tr := New()
+	for d := 0; d < 16; d++ {
+		if err := tr.Mkdir(fmt.Sprintf("/d%02d", d), 0o755, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < files; i++ {
+		p := fmt.Sprintf("/d%02d/f%07d", i%16, i)
+		if err := tr.Create(p, 1024, 0o644, 1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkTreeCreate(b *testing.B) {
+	tr := benchTree(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fmt.Sprintf("/d%02d/bench%09d", i%16, i)
+		if err := tr.Create(p, 1024, 0o644, 1, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeStat(b *testing.B) {
+	tr := benchTree(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := fmt.Sprintf("/d%02d/f%07d", i%16, i%100000)
+		if _, err := tr.Stat(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeRename(b *testing.B) {
+	tr := benchTree(b, 0)
+	for i := 0; i < 1; i++ {
+		_ = tr.Create("/d00/x", 1, 0o644, 1, 1)
+	}
+	b.ResetTimer()
+	src := "/d00/x"
+	for i := 0; i < b.N; i++ {
+		dst := fmt.Sprintf("/d%02d/x", (i+1)%16)
+		if err := tr.Rename(src, dst); err != nil {
+			b.Fatal(err)
+		}
+		src = dst
+	}
+}
+
+func BenchmarkValidateCreate(b *testing.B) {
+	tr := benchTree(b, 10000)
+	rec := journal.Record{Op: journal.OpCreate, Path: "/d00/not-there", Perm: 0o644}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Validate(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyBatch(b *testing.B) {
+	batch := journal.Batch{SN: 1, FirstTx: 1}
+	for i := 0; i < 64; i++ {
+		batch.Records = append(batch.Records, journal.Record{
+			TxID: uint64(i + 1), Op: journal.OpCreate,
+			Path: fmt.Sprintf("/d00/g%09d", i), Size: 1024, Perm: 0o644,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := benchTree(b, 0)
+		b.StartTimer()
+		if err := tr.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImageSave(b *testing.B) {
+	tr := benchTree(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.SaveImage()) == 0 {
+			b.Fatal("empty image")
+		}
+	}
+}
+
+func BenchmarkImageLoad(b *testing.B) {
+	img := benchTree(b, 50000).SaveImage()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadImage(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	tr := benchTree(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Digest()
+	}
+}

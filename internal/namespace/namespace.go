@@ -1,0 +1,668 @@
+// Package namespace implements the in-memory file-system namespace managed
+// by a metadata server: an inode tree supporting the five operations the
+// paper evaluates (create, mkdir, delete, rename, getfileinfo), journal
+// replay, and checkpoint images.
+//
+// Replay is deterministic: applying the same journal to two trees yields
+// byte-identical images, which is the foundation of the MAMS hot-standby
+// guarantee ("standby nodes keep the same states with the active").
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mams/internal/journal"
+	"mams/internal/wire"
+)
+
+// Namespace errors, mirroring POSIX-ish failure modes.
+var (
+	ErrNotFound = errors.New("namespace: no such file or directory")
+	ErrExists   = errors.New("namespace: file exists")
+	ErrNotDir   = errors.New("namespace: not a directory")
+	ErrIsDir    = errors.New("namespace: is a directory")
+	ErrNotEmpty = errors.New("namespace: directory not empty")
+	ErrBadPath  = errors.New("namespace: invalid path")
+	ErrSubtree  = errors.New("namespace: cannot move a directory into itself")
+)
+
+// BlockSize is the fixed block size used to derive a file's block list from
+// its length (64 MB, the HDFS default of the paper's era).
+const BlockSize = 64 << 20
+
+// Info describes one file or directory.
+type Info struct {
+	Path   string
+	Name   string
+	Dir    bool
+	Size   int64
+	Perm   uint16
+	MTime  int64
+	Blocks []uint64
+}
+
+type inode struct {
+	name     string
+	dir      bool
+	perm     uint16
+	mtime    int64
+	size     int64
+	blocks   []uint64
+	children map[string]*inode
+}
+
+// Tree is a mutable namespace. The zero value is not usable; call New.
+type Tree struct {
+	root      *inode
+	files     int
+	dirs      int // excluding root
+	nameBytes int64
+	blocks    int64
+}
+
+// New returns a tree containing only the root directory.
+func New() *Tree {
+	return &Tree{root: &inode{name: "", dir: true, children: map[string]*inode{}}}
+}
+
+// Files returns the number of regular files.
+func (t *Tree) Files() int { return t.files }
+
+// Dirs returns the number of directories, excluding the root.
+func (t *Tree) Dirs() int { return t.dirs }
+
+// Blocks returns the total number of file blocks in the namespace.
+func (t *Tree) Blocks() int64 { return t.blocks }
+
+// splitPath normalizes and splits an absolute path. "/" yields nil.
+func splitPath(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
+	}
+	raw := strings.Split(p, "/")
+	parts := raw[:0]
+	for _, c := range raw {
+		switch c {
+		case "", ".":
+		case "..":
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
+		default:
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// lookup walks to the inode at parts, or returns nil.
+func (t *Tree) lookup(parts []string) *inode {
+	cur := t.root
+	for _, c := range parts {
+		if !cur.dir {
+			return nil
+		}
+		next, ok := cur.children[c]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// parentOf resolves the parent directory of parts; parts must be non-empty.
+func (t *Tree) parentOf(parts []string) (*inode, string, error) {
+	if len(parts) == 0 {
+		return nil, "", ErrBadPath
+	}
+	dir := t.lookup(parts[:len(parts)-1])
+	if dir == nil {
+		return nil, "", ErrNotFound
+	}
+	if !dir.dir {
+		return nil, "", ErrNotDir
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// blocksFor derives the deterministic block list for a file created by
+// transaction txid with the given size. Determinism matters: replaying the
+// same journal on any replica must yield identical block ids.
+func blocksFor(txid uint64, size int64) []uint64 {
+	if size <= 0 {
+		return nil
+	}
+	n := (size + BlockSize - 1) / BlockSize
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = txid<<16 | uint64(i)
+	}
+	return ids
+}
+
+// Create adds a regular file. The txid feeds deterministic block-id
+// assignment (use 0 for ad-hoc trees in tests).
+func (t *Tree) Create(path string, size int64, perm uint16, mtime, txid int64) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	dir, name, err := t.parentOf(parts)
+	if err != nil {
+		return err
+	}
+	if _, exists := dir.children[name]; exists {
+		return ErrExists
+	}
+	blocks := blocksFor(uint64(txid), size)
+	dir.children[name] = &inode{name: name, perm: perm, mtime: mtime, size: size, blocks: blocks}
+	dir.mtime = mtime
+	t.files++
+	t.nameBytes += int64(len(name))
+	t.blocks += int64(len(blocks))
+	return nil
+}
+
+// Mkdir adds a directory. The parent must already exist.
+func (t *Tree) Mkdir(path string, perm uint16, mtime int64) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return ErrExists // "/"
+	}
+	dir, name, err := t.parentOf(parts)
+	if err != nil {
+		return err
+	}
+	if _, exists := dir.children[name]; exists {
+		return ErrExists
+	}
+	dir.children[name] = &inode{name: name, dir: true, perm: perm, mtime: mtime, children: map[string]*inode{}}
+	dir.mtime = mtime
+	t.dirs++
+	t.nameBytes += int64(len(name))
+	return nil
+}
+
+// MkdirAll creates path and any missing ancestors.
+func (t *Tree) MkdirAll(path string, perm uint16, mtime int64) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := "/"
+	for _, c := range parts {
+		if cur == "/" {
+			cur = "/" + c
+		} else {
+			cur = cur + "/" + c
+		}
+		if err := t.Mkdir(cur, perm, mtime); err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a file or an empty directory.
+func (t *Tree) Delete(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return ErrBadPath // cannot delete root
+	}
+	dir, name, err := t.parentOf(parts)
+	if err != nil {
+		return err
+	}
+	node, ok := dir.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	if node.dir && len(node.children) > 0 {
+		return ErrNotEmpty
+	}
+	delete(dir.children, name)
+	t.uncount(node)
+	return nil
+}
+
+// DeleteRecursive removes a file or a directory subtree.
+func (t *Tree) DeleteRecursive(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return ErrBadPath
+	}
+	dir, name, err := t.parentOf(parts)
+	if err != nil {
+		return err
+	}
+	node, ok := dir.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(dir.children, name)
+	var drop func(n *inode)
+	drop = func(n *inode) {
+		for _, c := range n.children {
+			drop(c)
+		}
+		t.uncount(n)
+	}
+	drop(node)
+	return nil
+}
+
+func (t *Tree) uncount(n *inode) {
+	t.nameBytes -= int64(len(n.name))
+	if n.dir {
+		t.dirs--
+	} else {
+		t.files--
+		t.blocks -= int64(len(n.blocks))
+	}
+}
+
+// Rename moves src to dst. dst must not exist; a directory cannot move into
+// its own subtree.
+func (t *Tree) Rename(src, dst string) error {
+	sp, err := splitPath(src)
+	if err != nil {
+		return err
+	}
+	dp, err := splitPath(dst)
+	if err != nil {
+		return err
+	}
+	if len(sp) == 0 {
+		return ErrBadPath
+	}
+	if len(dp) >= len(sp) {
+		same := true
+		for i := range sp {
+			if dp[i] != sp[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return ErrSubtree
+		}
+	}
+	sdir, sname, err := t.parentOf(sp)
+	if err != nil {
+		return err
+	}
+	node, ok := sdir.children[sname]
+	if !ok {
+		return ErrNotFound
+	}
+	ddir, dname, err := t.parentOf(dp)
+	if err != nil {
+		return err
+	}
+	if _, exists := ddir.children[dname]; exists {
+		return ErrExists
+	}
+	delete(sdir.children, sname)
+	t.nameBytes += int64(len(dname) - len(sname))
+	node.name = dname
+	ddir.children[dname] = node
+	return nil
+}
+
+// Stat returns metadata for path.
+func (t *Tree) Stat(path string) (Info, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Info{}, err
+	}
+	node := t.lookup(parts)
+	if node == nil {
+		return Info{}, ErrNotFound
+	}
+	return Info{
+		Path: path, Name: node.name, Dir: node.dir, Size: node.size,
+		Perm: node.perm, MTime: node.mtime, Blocks: append([]uint64(nil), node.blocks...),
+	}, nil
+}
+
+// Exists reports whether path resolves.
+func (t *Tree) Exists(path string) bool {
+	parts, err := splitPath(path)
+	if err != nil {
+		return false
+	}
+	return t.lookup(parts) != nil
+}
+
+// List returns the sorted children of a directory.
+func (t *Tree) List(path string) ([]Info, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	node := t.lookup(parts)
+	if node == nil {
+		return nil, ErrNotFound
+	}
+	if !node.dir {
+		return nil, ErrNotDir
+	}
+	names := make([]string, 0, len(node.children))
+	for n := range node.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Info, 0, len(names))
+	base := path
+	if base == "/" {
+		base = ""
+	}
+	for _, n := range names {
+		c := node.children[n]
+		out = append(out, Info{
+			Path: base + "/" + n, Name: n, Dir: c.dir, Size: c.size,
+			Perm: c.perm, MTime: c.mtime,
+		})
+	}
+	return out, nil
+}
+
+// Validate checks whether rec would apply cleanly to the tree, without
+// mutating it. Metadata servers validate before journaling so that only
+// records guaranteed to replay ever reach replicas.
+func (t *Tree) Validate(rec journal.Record) error {
+	switch rec.Op {
+	case journal.OpNoop:
+		return nil
+	case journal.OpCreate, journal.OpMkdir:
+		parts, err := splitPath(rec.Path)
+		if err != nil {
+			return err
+		}
+		if len(parts) == 0 {
+			return ErrExists
+		}
+		dir, name, err := t.parentOf(parts)
+		if err != nil {
+			return err
+		}
+		if _, exists := dir.children[name]; exists {
+			return ErrExists
+		}
+		return nil
+	case journal.OpDelete:
+		parts, err := splitPath(rec.Path)
+		if err != nil {
+			return err
+		}
+		if len(parts) == 0 {
+			return ErrBadPath
+		}
+		dir, name, err := t.parentOf(parts)
+		if err != nil {
+			return err
+		}
+		node, ok := dir.children[name]
+		if !ok {
+			return ErrNotFound
+		}
+		if node.dir && len(node.children) > 0 {
+			return ErrNotEmpty
+		}
+		return nil
+	case journal.OpRename:
+		if !t.Exists(rec.Path) {
+			return ErrNotFound
+		}
+		if t.Exists(rec.Dest) {
+			return ErrExists
+		}
+		dp, err := splitPath(rec.Dest)
+		if err != nil {
+			return err
+		}
+		if len(dp) == 0 {
+			return ErrExists
+		}
+		if _, _, err := t.parentOf(dp); err != nil {
+			return err
+		}
+		sp, _ := splitPath(rec.Path)
+		if len(dp) >= len(sp) {
+			same := true
+			for i := range sp {
+				if dp[i] != sp[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return ErrSubtree
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("namespace: unknown op %v", rec.Op)
+	}
+}
+
+// Apply executes one journal record against the tree. Records constructed
+// by a correct active always apply cleanly; an error indicates replica
+// divergence.
+func (t *Tree) Apply(rec journal.Record) error {
+	switch rec.Op {
+	case journal.OpNoop:
+		return nil
+	case journal.OpCreate:
+		return t.Create(rec.Path, rec.Size, rec.Perm, rec.MTime, int64(rec.TxID))
+	case journal.OpMkdir:
+		return t.Mkdir(rec.Path, rec.Perm, rec.MTime)
+	case journal.OpDelete:
+		return t.Delete(rec.Path)
+	case journal.OpRename:
+		return t.Rename(rec.Path, rec.Dest)
+	default:
+		return fmt.Errorf("namespace: unknown op %v", rec.Op)
+	}
+}
+
+// ApplyBatch replays every record in the batch, stopping at the first error.
+func (t *Tree) ApplyBatch(b journal.Batch) error {
+	for _, rec := range b.Records {
+		if err := t.Apply(rec); err != nil {
+			return fmt.Errorf("sn %d tx %d %v %q: %w", b.SN, rec.TxID, rec.Op, rec.Path, err)
+		}
+	}
+	return nil
+}
+
+// EstimatedImageBytes cheaply approximates the checkpoint image size without
+// serializing — used by size-dependent recovery cost models on hot paths.
+func (t *Tree) EstimatedImageBytes() int64 {
+	inodes := int64(t.files + t.dirs + 1)
+	return 16 + inodes*12 + t.nameBytes + t.blocks*9
+}
+
+// SaveImage serializes the whole tree into a checkpoint image.
+func (t *Tree) SaveImage() []byte {
+	w := wire.NewWriter(int(t.EstimatedImageBytes()))
+	w.U32(0x4D414D53) // "MAMS" magic
+	w.U32(1)          // version
+	var enc func(n *inode)
+	enc = func(n *inode) {
+		w.String(n.name)
+		w.Bool(n.dir)
+		w.U16(n.perm)
+		w.Varint(n.mtime)
+		if n.dir {
+			names := make([]string, 0, len(n.children))
+			for c := range n.children {
+				names = append(names, c)
+			}
+			sort.Strings(names)
+			w.Uvarint(uint64(len(names)))
+			for _, c := range names {
+				enc(n.children[c])
+			}
+		} else {
+			w.Varint(n.size)
+			w.Uvarint(uint64(len(n.blocks)))
+			for _, b := range n.blocks {
+				w.Uvarint(b)
+			}
+		}
+	}
+	enc(t.root)
+	return w.Bytes()
+}
+
+// LoadImage reconstructs a tree from a checkpoint image.
+func LoadImage(buf []byte) (*Tree, error) {
+	r := wire.NewReader(buf)
+	if magic := r.U32(); magic != 0x4D414D53 {
+		return nil, fmt.Errorf("namespace: bad image magic %#x", magic)
+	}
+	if v := r.U32(); v != 1 {
+		return nil, fmt.Errorf("namespace: unsupported image version %d", v)
+	}
+	t := &Tree{}
+	var dec func(depth int) (*inode, error)
+	dec = func(depth int) (*inode, error) {
+		if depth > 4096 {
+			return nil, errors.New("namespace: image nesting too deep")
+		}
+		n := &inode{}
+		n.name = r.String()
+		n.dir = r.Bool()
+		n.perm = r.U16()
+		n.mtime = r.Varint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n.dir {
+			n.children = map[string]*inode{}
+			cnt := r.Uvarint()
+			if cnt > uint64(len(buf)) {
+				return nil, fmt.Errorf("namespace: implausible child count %d", cnt)
+			}
+			for i := uint64(0); i < cnt; i++ {
+				c, err := dec(depth + 1)
+				if err != nil {
+					return nil, err
+				}
+				n.children[c.name] = c
+				t.nameBytes += int64(len(c.name))
+				if c.dir {
+					t.dirs++
+				} else {
+					t.files++
+					t.blocks += int64(len(c.blocks))
+				}
+			}
+		} else {
+			n.size = r.Varint()
+			nb := r.Uvarint()
+			if nb > uint64(len(buf)) {
+				return nil, fmt.Errorf("namespace: implausible block count %d", nb)
+			}
+			n.blocks = make([]uint64, nb)
+			for i := range n.blocks {
+				n.blocks[i] = r.Uvarint()
+			}
+		}
+		return n, r.Err()
+	}
+	root, err := dec(0)
+	if err != nil {
+		return nil, err
+	}
+	if !root.dir {
+		return nil, errors.New("namespace: image root is not a directory")
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Digest returns an order-independent structural hash of the namespace.
+// Two replicas with equal digests hold identical metadata. (FNV-1a over a
+// canonical preorder traversal.)
+func (t *Tree) Digest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xFF
+		h *= prime
+	}
+	mixU := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime
+			v >>= 8
+		}
+	}
+	var walk func(prefix string, n *inode)
+	walk = func(prefix string, n *inode) {
+		mix(prefix)
+		if n.dir {
+			mixU(1)
+			names := make([]string, 0, len(n.children))
+			for c := range n.children {
+				names = append(names, c)
+			}
+			sort.Strings(names)
+			for _, c := range names {
+				walk(prefix+"/"+c, n.children[c])
+			}
+		} else {
+			mixU(2)
+			mixU(uint64(n.size))
+			mixU(uint64(n.mtime))
+			mixU(uint64(n.perm))
+			for _, b := range n.blocks {
+				mixU(b)
+			}
+		}
+	}
+	walk("", t.root)
+	return h
+}
+
+// AllBlocks returns every block id in the namespace (sorted), used by the
+// data-server substrate to synthesize block reports.
+func (t *Tree) AllBlocks() []uint64 {
+	out := make([]uint64, 0, t.blocks)
+	var walk func(n *inode)
+	walk = func(n *inode) {
+		if n.dir {
+			for _, c := range n.children {
+				walk(c)
+			}
+		} else {
+			out = append(out, n.blocks...)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,469 @@
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mams/internal/journal"
+)
+
+func mustMkdir(t *testing.T, tr *Tree, path string) {
+	t.Helper()
+	if err := tr.Mkdir(path, 0o755, 1); err != nil {
+		t.Fatalf("mkdir %s: %v", path, err)
+	}
+}
+
+func mustCreate(t *testing.T, tr *Tree, path string) {
+	t.Helper()
+	if err := tr.Create(path, 100, 0o644, 1, 1); err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+}
+
+func TestCreateAndStat(t *testing.T) {
+	tr := New()
+	mustMkdir(t, tr, "/a")
+	if err := tr.Create("/a/f", 1234, 0o640, 99, 7); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tr.Stat("/a/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dir || info.Size != 1234 || info.Perm != 0o640 || info.MTime != 99 {
+		t.Fatalf("info = %+v", info)
+	}
+	if tr.Files() != 1 || tr.Dirs() != 1 {
+		t.Fatalf("counts: files=%d dirs=%d", tr.Files(), tr.Dirs())
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	tr := New()
+	if err := tr.Create("/missing/f", 0, 0o644, 1, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateRejectsDuplicate(t *testing.T) {
+	tr := New()
+	mustCreate(t, tr, "/f")
+	if err := tr.Create("/f", 0, 0o644, 1, 2); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateUnderFileFails(t *testing.T) {
+	tr := New()
+	mustCreate(t, tr, "/f")
+	if err := tr.Create("/f/g", 0, 0o644, 1, 2); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlockAssignmentDeterministic(t *testing.T) {
+	size := int64(3*BlockSize + 1) // 4 blocks
+	a, b := New(), New()
+	_ = a.Create("/f", size, 0o644, 1, 42)
+	_ = b.Create("/f", size, 0o644, 1, 42)
+	ia, _ := a.Stat("/f")
+	ib, _ := b.Stat("/f")
+	if len(ia.Blocks) != 4 {
+		t.Fatalf("blocks = %v", ia.Blocks)
+	}
+	for i := range ia.Blocks {
+		if ia.Blocks[i] != ib.Blocks[i] {
+			t.Fatal("block ids not deterministic")
+		}
+	}
+	if a.Blocks() != 4 {
+		t.Fatalf("Blocks() = %d", a.Blocks())
+	}
+}
+
+func TestZeroSizeFileHasNoBlocks(t *testing.T) {
+	tr := New()
+	_ = tr.Create("/f", 0, 0o644, 1, 1)
+	info, _ := tr.Stat("/f")
+	if len(info.Blocks) != 0 {
+		t.Fatalf("blocks = %v", info.Blocks)
+	}
+}
+
+func TestMkdirSemantics(t *testing.T) {
+	tr := New()
+	mustMkdir(t, tr, "/a")
+	mustMkdir(t, tr, "/a/b")
+	if err := tr.Mkdir("/a/b", 0o755, 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup mkdir err = %v", err)
+	}
+	if err := tr.Mkdir("/x/y", 0o755, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("orphan mkdir err = %v", err)
+	}
+	if err := tr.Mkdir("/", 0o755, 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("mkdir / err = %v", err)
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	tr := New()
+	if err := tr.MkdirAll("/a/b/c/d", 0o755, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Exists("/a/b/c/d") {
+		t.Fatal("path missing after MkdirAll")
+	}
+	if err := tr.MkdirAll("/a/b", 0o755, 1); err != nil {
+		t.Fatalf("idempotent MkdirAll: %v", err)
+	}
+	if tr.Dirs() != 4 {
+		t.Fatalf("Dirs = %d", tr.Dirs())
+	}
+}
+
+func TestDeleteFile(t *testing.T) {
+	tr := New()
+	mustCreate(t, tr, "/f")
+	if err := tr.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Exists("/f") || tr.Files() != 0 {
+		t.Fatal("file still present")
+	}
+	if err := tr.Delete("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestDeleteEmptyDirOnly(t *testing.T) {
+	tr := New()
+	mustMkdir(t, tr, "/d")
+	mustCreate(t, tr, "/d/f")
+	if err := tr.Delete("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = tr.Delete("/d/f")
+	if err := tr.Delete("/d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRootForbidden(t *testing.T) {
+	tr := New()
+	if err := tr.Delete("/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeleteRecursive(t *testing.T) {
+	tr := New()
+	_ = tr.MkdirAll("/a/b/c", 0o755, 1)
+	mustCreate(t, tr, "/a/f1")
+	mustCreate(t, tr, "/a/b/f2")
+	mustCreate(t, tr, "/a/b/c/f3")
+	if err := tr.DeleteRecursive("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Files() != 0 || tr.Dirs() != 0 || tr.Blocks() != 0 {
+		t.Fatalf("counts after recursive delete: f=%d d=%d b=%d", tr.Files(), tr.Dirs(), tr.Blocks())
+	}
+}
+
+func TestRenameFile(t *testing.T) {
+	tr := New()
+	mustMkdir(t, tr, "/a")
+	mustMkdir(t, tr, "/b")
+	mustCreate(t, tr, "/a/f")
+	if err := tr.Rename("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Exists("/a/f") || !tr.Exists("/b/g") {
+		t.Fatal("rename did not move")
+	}
+	info, _ := tr.Stat("/b/g")
+	if info.Name != "g" {
+		t.Fatalf("renamed name = %q", info.Name)
+	}
+}
+
+func TestRenameDirectoryKeepsSubtree(t *testing.T) {
+	tr := New()
+	_ = tr.MkdirAll("/a/b", 0o755, 1)
+	mustCreate(t, tr, "/a/b/f")
+	if err := tr.Rename("/a", "/z"); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Exists("/z/b/f") {
+		t.Fatal("subtree lost on rename")
+	}
+}
+
+func TestRenameRejectsExistingDest(t *testing.T) {
+	tr := New()
+	mustCreate(t, tr, "/f")
+	mustCreate(t, tr, "/g")
+	if err := tr.Rename("/f", "/g"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenameIntoOwnSubtreeRejected(t *testing.T) {
+	tr := New()
+	_ = tr.MkdirAll("/a/b", 0o755, 1)
+	if err := tr.Rename("/a", "/a/b/c"); !errors.Is(err, ErrSubtree) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tr.Rename("/a", "/a"); !errors.Is(err, ErrSubtree) {
+		t.Fatalf("self rename err = %v", err)
+	}
+}
+
+func TestRenameMissingSource(t *testing.T) {
+	tr := New()
+	if err := tr.Rename("/nope", "/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	tr := New()
+	mustMkdir(t, tr, "/d")
+	mustCreate(t, tr, "/d/b")
+	mustCreate(t, tr, "/d/a")
+	mustMkdir(t, tr, "/d/c")
+	infos, err := tr.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 || infos[0].Name != "a" || infos[1].Name != "b" || infos[2].Name != "c" {
+		t.Fatalf("list = %+v", infos)
+	}
+	if infos[0].Path != "/d/a" {
+		t.Fatalf("path = %q", infos[0].Path)
+	}
+	if _, err := tr.List("/d/a"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("list file err = %v", err)
+	}
+	rootList, err := tr.List("/")
+	if err != nil || len(rootList) != 1 || rootList[0].Path != "/d" {
+		t.Fatalf("root list = %+v err=%v", rootList, err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	tr := New()
+	for _, p := range []string{"", "relative", "/a/../b"} {
+		if err := tr.Mkdir(p, 0o755, 1); !errors.Is(err, ErrBadPath) {
+			t.Fatalf("path %q err = %v", p, err)
+		}
+	}
+	if tr.Exists("not-absolute") {
+		t.Fatal("relative path should not resolve")
+	}
+	// Redundant slashes normalize.
+	mustMkdir(t, tr, "/a")
+	mustMkdir(t, tr, "//a///b")
+	if !tr.Exists("/a/b") {
+		t.Fatal("slash normalization failed")
+	}
+}
+
+func TestApplyJournalRecords(t *testing.T) {
+	tr := New()
+	recs := []journal.Record{
+		{TxID: 1, Op: journal.OpMkdir, Path: "/d", Perm: 0o755, MTime: 1},
+		{TxID: 2, Op: journal.OpCreate, Path: "/d/f", Size: 10, Perm: 0o644, MTime: 2},
+		{TxID: 3, Op: journal.OpRename, Path: "/d/f", Dest: "/d/g", MTime: 3},
+		{TxID: 4, Op: journal.OpNoop},
+	}
+	for _, r := range recs {
+		if err := tr.Apply(r); err != nil {
+			t.Fatalf("apply %+v: %v", r, err)
+		}
+	}
+	if !tr.Exists("/d/g") || tr.Exists("/d/f") {
+		t.Fatal("journal replay produced wrong tree")
+	}
+	if err := tr.Apply(journal.Record{Op: journal.OpKind(77)}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestApplyBatchStopsAtError(t *testing.T) {
+	tr := New()
+	b := journal.Batch{SN: 1, Records: []journal.Record{
+		{TxID: 1, Op: journal.OpMkdir, Path: "/d", Perm: 0o755},
+		{TxID: 2, Op: journal.OpDelete, Path: "/missing"},
+		{TxID: 3, Op: journal.OpMkdir, Path: "/e", Perm: 0o755},
+	}}
+	if err := tr.ApplyBatch(b); err == nil {
+		t.Fatal("expected error")
+	}
+	if tr.Exists("/e") {
+		t.Fatal("records after the failure were applied")
+	}
+}
+
+func TestReplayEquivalence(t *testing.T) {
+	// Two replicas replaying the same journal reach identical digests and
+	// identical images.
+	ops := []journal.Record{
+		{TxID: 1, Op: journal.OpMkdir, Path: "/a", Perm: 0o755, MTime: 1},
+		{TxID: 2, Op: journal.OpMkdir, Path: "/a/b", Perm: 0o755, MTime: 2},
+		{TxID: 3, Op: journal.OpCreate, Path: "/a/b/f1", Size: BlockSize * 2, Perm: 0o644, MTime: 3},
+		{TxID: 4, Op: journal.OpCreate, Path: "/a/f2", Size: 5, Perm: 0o600, MTime: 4},
+		{TxID: 5, Op: journal.OpRename, Path: "/a/b", Dest: "/c", MTime: 5},
+		{TxID: 6, Op: journal.OpDelete, Path: "/a/f2"},
+	}
+	x, y := New(), New()
+	for _, r := range ops {
+		if err := x.Apply(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := y.Apply(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if x.Digest() != y.Digest() {
+		t.Fatal("digests diverged after identical replay")
+	}
+	if string(x.SaveImage()) != string(y.SaveImage()) {
+		t.Fatal("images diverged after identical replay")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	a, b := New(), New()
+	_ = a.Create("/f", 1, 0o644, 1, 1)
+	_ = b.Create("/f", 2, 0o644, 1, 1)
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest insensitive to size")
+	}
+	c := New()
+	_ = c.Mkdir("/f", 0o644, 1)
+	if a.Digest() == c.Digest() {
+		t.Fatal("digest insensitive to file/dir kind")
+	}
+	if New().Digest() != New().Digest() {
+		t.Fatal("empty trees differ")
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	tr := New()
+	_ = tr.MkdirAll("/a/b/c", 0o711, 7)
+	_ = tr.Create("/a/b/f", BlockSize+1, 0o640, 8, 21)
+	_ = tr.Create("/top", 0, 0o644, 9, 22)
+	img := tr.SaveImage()
+	got, err := LoadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != tr.Digest() {
+		t.Fatal("digest changed across image round trip")
+	}
+	if got.Files() != tr.Files() || got.Dirs() != tr.Dirs() || got.Blocks() != tr.Blocks() {
+		t.Fatalf("counts changed: %d/%d/%d vs %d/%d/%d",
+			got.Files(), got.Dirs(), got.Blocks(), tr.Files(), tr.Dirs(), tr.Blocks())
+	}
+	info, err := got.Stat("/a/b/f")
+	if err != nil || info.Size != BlockSize+1 || len(info.Blocks) != 2 {
+		t.Fatalf("stat after load: %+v err=%v", info, err)
+	}
+}
+
+func TestImageRejectsCorruption(t *testing.T) {
+	tr := New()
+	_ = tr.Create("/f", 10, 0o644, 1, 1)
+	img := tr.SaveImage()
+	if _, err := LoadImage(img[:3]); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] ^= 0xFF
+	if _, err := LoadImage(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := LoadImage(append(img, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestEstimatedImageBytesTracksGrowth(t *testing.T) {
+	tr := New()
+	base := tr.EstimatedImageBytes()
+	for i := 0; i < 100; i++ {
+		_ = tr.Create(fmt.Sprintf("/file-%03d", i), 10, 0o644, 1, int64(i+1))
+	}
+	grown := tr.EstimatedImageBytes()
+	if grown <= base {
+		t.Fatal("estimate did not grow")
+	}
+	for i := 0; i < 100; i++ {
+		_ = tr.Delete(fmt.Sprintf("/file-%03d", i))
+	}
+	if tr.EstimatedImageBytes() != base {
+		t.Fatalf("estimate did not return to base: %d vs %d", tr.EstimatedImageBytes(), base)
+	}
+}
+
+func TestAllBlocksSorted(t *testing.T) {
+	tr := New()
+	_ = tr.Create("/a", BlockSize*3, 0o644, 1, 5)
+	_ = tr.Create("/b", BlockSize*2, 0o644, 1, 2)
+	blocks := tr.AllBlocks()
+	if len(blocks) != 5 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i-1] >= blocks[i] {
+			t.Fatalf("not sorted: %v", blocks)
+		}
+	}
+}
+
+func TestPropertyImageRoundTrip(t *testing.T) {
+	// Random sequences of valid operations round-trip through images.
+	f := func(seed int64, steps uint8) bool {
+		tr := New()
+		paths := []string{"/"}
+		s := seed
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int((s >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		tx := int64(1)
+		for i := 0; i < int(steps); i++ {
+			parent := paths[next(len(paths))]
+			info, err := tr.Stat(parent)
+			if err != nil || !info.Dir {
+				continue
+			}
+			base := parent
+			if base == "/" {
+				base = ""
+			}
+			child := fmt.Sprintf("%s/n%d", base, i)
+			if next(2) == 0 {
+				if tr.Mkdir(child, 0o755, int64(i)) == nil {
+					paths = append(paths, child)
+				}
+			} else {
+				_ = tr.Create(child, int64(next(1000)), 0o644, int64(i), tx)
+				tx++
+			}
+		}
+		got, err := LoadImage(tr.SaveImage())
+		return err == nil && got.Digest() == tr.Digest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package partition implements the hash-based namespace partitioning that
+// the Clover File System (the paper's prototype, [28]) uses to spread the
+// global namespace over multiple metadata-server replica groups.
+//
+// The scheme reproduced here:
+//
+//   - The directory skeleton is replicated in every group, so path
+//     resolution is always local.
+//   - A file's entry lives in exactly one home group, chosen by hashing the
+//     full path.
+//   - create and getfileinfo therefore touch a single group and scale with
+//     the number of groups, while mkdir, delete and rename are distributed
+//     transactions across groups — exactly the split the paper reports in
+//     Figure 5.
+package partition
+
+import "hash/fnv"
+
+// Strategy selects how file entries map to groups.
+type Strategy uint8
+
+// Partitioning strategies. The paper's CFS hashes full paths; the paper's
+// conclusion names "exploring other namespace management methods" as future
+// work, which BySubtree implements: whole top-level subtrees stick to one
+// group (better locality, worse balance under hot directories — the A5
+// ablation quantifies the trade).
+const (
+	ByPath Strategy = iota
+	BySubtree
+)
+
+// Partitioner maps paths to replica groups.
+type Partitioner struct {
+	groups   int
+	strategy Strategy
+}
+
+// New returns a full-path-hash partitioner over n groups (n >= 1).
+func New(n int) *Partitioner {
+	return NewWithStrategy(n, ByPath)
+}
+
+// NewWithStrategy returns a partitioner with an explicit strategy.
+func NewWithStrategy(n int, s Strategy) *Partitioner {
+	if n < 1 {
+		panic("partition: need at least one group")
+	}
+	return &Partitioner{groups: n, strategy: s}
+}
+
+// topLevel returns the first path component ("/a/b/c" → "/a").
+func topLevel(path string) string {
+	for i := 1; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// Groups returns the number of groups.
+func (p *Partitioner) Groups() int { return p.groups }
+
+func hashStr(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HomeGroup returns the group owning the file entry for path.
+func (p *Partitioner) HomeGroup(path string) int {
+	if p.strategy == BySubtree {
+		return int(hashStr(topLevel(path)) % uint64(p.groups))
+	}
+	return int(hashStr(path) % uint64(p.groups))
+}
+
+// DirMasterGroup returns the group that coordinates directory-entry
+// updates for the directory containing path.
+func (p *Partitioner) DirMasterGroup(path string) int {
+	return int(hashStr(parentDir(path)) % uint64(p.groups))
+}
+
+// parentDir returns the directory component of path.
+func parentDir(path string) string {
+	for i := len(path) - 1; i > 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+// OpClass describes how an operation spreads over groups.
+type OpClass uint8
+
+// Operation classes.
+const (
+	// ClassLocal runs entirely inside one group.
+	ClassLocal OpClass = iota
+	// ClassPair is a two-group distributed transaction.
+	ClassPair
+	// ClassGlobal must run in every group (directory skeleton updates).
+	ClassGlobal
+)
+
+// CreatePlan: create(path) is local to the file's home group.
+func (p *Partitioner) CreatePlan(path string) (OpClass, []int) {
+	return ClassLocal, []int{p.HomeGroup(path)}
+}
+
+// StatPlan: getfileinfo(path) is local to the file's home group.
+func (p *Partitioner) StatPlan(path string) (OpClass, []int) {
+	return ClassLocal, []int{p.HomeGroup(path)}
+}
+
+// MkdirPlan: directory creation updates the replicated skeleton in every
+// group; the dir-master group coordinates.
+func (p *Partitioner) MkdirPlan(path string) (OpClass, []int) {
+	if p.groups == 1 {
+		return ClassLocal, []int{0}
+	}
+	return ClassGlobal, p.allGroupsLeadBy(p.DirMasterGroup(path))
+}
+
+// DeletePlan: file deletion touches the home group and the dir-master
+// group (parent-directory bookkeeping) — a two-phase commit when they
+// differ.
+func (p *Partitioner) DeletePlan(path string) (OpClass, []int) {
+	home, master := p.HomeGroup(path), p.DirMasterGroup(path)
+	if home == master || p.groups == 1 {
+		return ClassLocal, []int{home}
+	}
+	return ClassPair, []int{home, master}
+}
+
+// RenamePlan: rename moves a file between home groups and updates both
+// parent directories; when any differ it is a distributed transaction led
+// by the source home group.
+func (p *Partitioner) RenamePlan(src, dst string) (OpClass, []int) {
+	groups := dedup([]int{
+		p.HomeGroup(src), p.HomeGroup(dst),
+		p.DirMasterGroup(src), p.DirMasterGroup(dst),
+	})
+	if len(groups) == 1 {
+		return ClassLocal, groups
+	}
+	return ClassPair, groups
+}
+
+// allGroupsLeadBy lists every group with lead first.
+func (p *Partitioner) allGroupsLeadBy(lead int) []int {
+	out := make([]int, 0, p.groups)
+	out = append(out, lead)
+	for g := 0; g < p.groups; g++ {
+		if g != lead {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func dedup(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

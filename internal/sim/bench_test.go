@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventDispatch measures raw kernel throughput: how many simulated
+// events the host can execute per second (the figure that converts virtual
+// experiment time into real time).
+func BenchmarkEventDispatch(b *testing.B) {
+	w := NewWorld()
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n < b.N {
+			w.After(Microsecond, "bench", loop)
+		}
+	}
+	w.After(0, "bench", loop)
+	b.ResetTimer()
+	w.Run()
+}
+
+// BenchmarkTimerChurn measures schedule/cancel cycles (every RPC arms and
+// usually cancels a timeout timer).
+func BenchmarkTimerChurn(b *testing.B) {
+	w := NewWorld()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := w.At(Time(i)+Second, "churn", fn)
+		t.Stop()
+	}
+}
+
+// BenchmarkHeapWidth measures dispatch with many pending events (wide
+// clusters keep thousands of timers armed).
+func BenchmarkHeapWidth(b *testing.B) {
+	w := NewWorld()
+	for i := 0; i < 10000; i++ {
+		w.At(Time(i)*Millisecond+Minute, "standing", func() {})
+	}
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		if count < b.N {
+			w.After(Microsecond, "bench", loop)
+		}
+	}
+	w.After(0, "bench", loop)
+	b.ResetTimer()
+	w.RunUntil(Minute - Millisecond)
+}

@@ -1,0 +1,219 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// All components of the reproduced system (metadata servers, coordination
+// ensemble, data servers, clients) run on a single virtual clock owned by a
+// World. Events are executed in strict (time, sequence) order, so a run is
+// bit-for-bit reproducible given the same seed and schedule of calls.
+//
+// The virtual clock is entirely decoupled from wall time: simulating the
+// paper's 240-second failover experiments takes milliseconds of real time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It intentionally mirrors time.Duration so the two convert
+// trivially.
+type Time int64
+
+// Common virtual-time unit constructors.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+)
+
+// Duration converts a virtual instant (relative to zero) to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a time.Duration into a virtual duration.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// An event is a scheduled callback. Events fire in (at, seq) order; seq is a
+// monotonically increasing tiebreaker that makes scheduling deterministic.
+type event struct {
+	at    Time
+	seq   uint64
+	name  string
+	fn    func()
+	index int  // heap index, -1 once popped
+	dead  bool // cancelled
+}
+
+// Timer is a handle to a scheduled event; it may be cancelled before firing.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	pending := t.ev.index >= 0
+	t.ev.dead = true
+	return pending
+}
+
+// Pending reports whether the timer has neither fired nor been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// World owns the virtual clock and the pending-event queue.
+type World struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	steps   uint64
+	maxStep uint64 // safety valve against runaway simulations; 0 = unlimited
+	running bool
+}
+
+// NewWorld returns a World with the clock at zero and an empty event queue.
+func NewWorld() *World {
+	return &World{maxStep: 0}
+}
+
+// SetStepLimit installs a safety valve: Run panics after n dispatched events.
+// Zero disables the limit.
+func (w *World) SetStepLimit(n uint64) { w.maxStep = n }
+
+// Now returns the current virtual time.
+func (w *World) Now() Time { return w.now }
+
+// Steps returns the number of events dispatched so far.
+func (w *World) Steps() uint64 { return w.steps }
+
+// Pending returns the number of events currently scheduled.
+func (w *World) Pending() int { return len(w.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would silently reorder causality.
+func (w *World) At(t Time, name string, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < w.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, w.now))
+	}
+	w.seq++
+	ev := &event{at: t, seq: w.seq, name: name, fn: fn}
+	heap.Push(&w.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// clamped to zero (fires "immediately" but still via the queue, preserving
+// run-to-completion semantics of the current event).
+func (w *World) After(d Time, name string, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return w.At(w.now+d, name, fn)
+}
+
+// Defer schedules fn at the current instant, after all callbacks already
+// queued for this instant.
+func (w *World) Defer(name string, fn func()) *Timer {
+	return w.At(w.now, name, fn)
+}
+
+// Step dispatches the next event, advancing the clock to its timestamp.
+// It reports false when the queue is empty.
+func (w *World) Step() bool {
+	for len(w.events) > 0 {
+		ev := heap.Pop(&w.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < w.now {
+			panic("sim: time went backwards")
+		}
+		w.now = ev.at
+		w.steps++
+		if w.maxStep > 0 && w.steps > w.maxStep {
+			panic(fmt.Sprintf("sim: step limit %d exceeded (last event %q at %v)", w.maxStep, ev.name, ev.at))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains.
+func (w *World) Run() {
+	if w.running {
+		panic("sim: reentrant Run")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for w.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the clock
+// to exactly t (even if the queue drained earlier or later events remain).
+func (w *World) RunUntil(t Time) {
+	if w.running {
+		panic("sim: reentrant Run")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for len(w.events) > 0 {
+		// Peek: the heap root is the earliest event.
+		if w.events[0].at > t {
+			break
+		}
+		w.Step()
+	}
+	if w.now < t {
+		w.now = t
+	}
+}
+
+// RunFor advances the simulation by virtual duration d.
+func (w *World) RunFor(d Time) { w.RunUntil(w.now + d) }

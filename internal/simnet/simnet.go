@@ -1,0 +1,368 @@
+// Package simnet provides a simulated message-passing network on top of the
+// discrete-event kernel in internal/sim.
+//
+// Every process in the reproduction (metadata servers, coordination ensemble
+// members, data servers, clients, pool nodes) is a Node. Nodes exchange
+// one-way messages and request/response RPCs; the network draws per-message
+// latencies from a seeded distribution and honours injected faults:
+//
+//   - Crash/Restart: the process stops; its timers and pending RPCs die.
+//   - Unplug/Replug: the NIC goes dark (the paper's "take out network
+//     wires" fault); the process keeps running but nothing gets in or out.
+//   - Cut/Heal: directional link partitions between node pairs.
+//
+// The simulation is single-threaded: handlers run to completion and may
+// schedule further events, but never race.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"mams/internal/rng"
+	"mams/internal/sim"
+	"mams/internal/trace"
+)
+
+// NodeID names a process in the simulated cluster.
+type NodeID string
+
+// Errors surfaced to RPC callers.
+var (
+	// ErrTimeout reports that no response arrived within the deadline.
+	ErrTimeout = errors.New("simnet: rpc timeout")
+	// ErrNodeDown reports a local send from a crashed process.
+	ErrNodeDown = errors.New("simnet: local node is down")
+)
+
+// Handler consumes one-way messages addressed to a node.
+type Handler interface {
+	HandleMessage(from NodeID, msg any)
+}
+
+// RequestHandler additionally consumes RPC requests. reply may be invoked
+// immediately or from a later event; invoking it more than once panics.
+type RequestHandler interface {
+	HandleRequest(from NodeID, req any, reply func(resp any))
+}
+
+// LatencyModel describes one-way message delay.
+type LatencyModel struct {
+	Base   sim.Time // median one-way latency
+	Spread float64  // log-normal sigma; 0 = constant latency
+}
+
+// draw samples a delivery delay.
+func (m LatencyModel) draw(r *rng.RNG) sim.Time {
+	if m.Base <= 0 {
+		return 0
+	}
+	if m.Spread <= 0 {
+		return m.Base
+	}
+	return sim.Time(r.LogNormalAround(float64(m.Base), m.Spread))
+}
+
+type envKind uint8
+
+const (
+	envOneway envKind = iota
+	envRequest
+	envResponse
+)
+
+type envelope struct {
+	kind    envKind
+	id      uint64
+	payload any
+}
+
+type pendingCall struct {
+	cb    func(resp any, err error)
+	timer *sim.Timer
+}
+
+// Network ties nodes together over a shared latency model.
+type Network struct {
+	world   *sim.World
+	rng     *rng.RNG
+	latency LatencyModel
+	nodes   map[NodeID]*Node
+	cuts    map[[2]NodeID]bool
+	log     *trace.Log
+	loss    float64 // probability an individual message is dropped
+	// lastArrival enforces per-link FIFO delivery (TCP-like): a message
+	// never overtakes an earlier one on the same (src, dst) link.
+	lastArrival map[[2]NodeID]sim.Time
+
+	// Stats counts message traffic for reporting.
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// New creates a network on the given world. log may be nil.
+func New(w *sim.World, r *rng.RNG, latency LatencyModel, log *trace.Log) *Network {
+	return &Network{
+		world:       w,
+		rng:         r.Split("simnet"),
+		latency:     latency,
+		nodes:       make(map[NodeID]*Node),
+		cuts:        make(map[[2]NodeID]bool),
+		log:         log,
+		lastArrival: make(map[[2]NodeID]sim.Time),
+	}
+}
+
+// World returns the underlying simulation world.
+func (n *Network) World() *sim.World { return n.world }
+
+// Node looks up a registered node, or nil.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// AddNode registers a new process. The handler may be nil initially and set
+// later with SetHandler.
+func (n *Network) AddNode(id NodeID, h Handler) *Node {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", id))
+	}
+	node := &Node{id: id, net: n, handler: h, up: true, pending: make(map[uint64]*pendingCall)}
+	n.nodes[id] = node
+	return node
+}
+
+// Cut severs delivery from a to b (one direction). Messages in flight are
+// dropped at delivery time.
+func (n *Network) Cut(a, b NodeID) { n.cuts[[2]NodeID{a, b}] = true }
+
+// Heal restores delivery from a to b.
+func (n *Network) Heal(a, b NodeID) { delete(n.cuts, [2]NodeID{a, b}) }
+
+// CutBoth severs both directions between a and b.
+func (n *Network) CutBoth(a, b NodeID) { n.Cut(a, b); n.Cut(b, a) }
+
+// HealBoth restores both directions between a and b.
+func (n *Network) HealBoth(a, b NodeID) { n.Heal(a, b); n.Heal(b, a) }
+
+func (n *Network) cut(a, b NodeID) bool { return n.cuts[[2]NodeID{a, b}] }
+
+// SetLoss makes every message independently vanish with probability p.
+// Protocols under test must tolerate this via retransmission.
+func (n *Network) SetLoss(p float64) { n.loss = p }
+
+// deliverable reports whether a message from src can reach dst right now.
+func (n *Network) deliverable(src, dst *Node) bool {
+	if dst == nil || !dst.up || dst.unplugged {
+		return false
+	}
+	if src != nil && (src.unplugged || !src.up) {
+		return false
+	}
+	if src != nil && n.cut(src.id, dst.id) {
+		return false
+	}
+	return true
+}
+
+// send schedules delivery of env from src to dst subject to faults at both
+// send and delivery time.
+func (n *Network) send(src *Node, to NodeID, env envelope) {
+	n.Sent++
+	if src != nil && (!src.up || src.unplugged) {
+		n.Dropped++
+		return
+	}
+	dst := n.nodes[to]
+	if dst == nil {
+		n.Dropped++
+		return
+	}
+	if n.loss > 0 && n.rng.Bool(n.loss) {
+		n.Dropped++
+		return
+	}
+	delay := n.latency.draw(n.rng)
+	fromID := NodeID("")
+	if src != nil {
+		fromID = src.id
+	}
+	// FIFO per link: clamp the arrival so it never precedes an earlier
+	// message on the same link.
+	link := [2]NodeID{fromID, to}
+	arrival := n.world.Now() + delay
+	if last := n.lastArrival[link]; arrival < last {
+		arrival = last
+		delay = arrival - n.world.Now()
+	}
+	n.lastArrival[link] = arrival
+	n.world.After(delay, "deliver:"+string(to), func() {
+		if !n.deliverable(src, dst) {
+			n.Dropped++
+			return
+		}
+		n.Delivered++
+		dst.deliver(fromID, env)
+	})
+}
+
+// Node is one simulated process.
+type Node struct {
+	id        NodeID
+	net       *Network
+	handler   Handler
+	up        bool
+	unplugged bool
+	gen       uint64 // bumped on crash; invalidates timers and pending RPCs
+
+	nextCall uint64
+	pending  map[uint64]*pendingCall
+}
+
+// ID returns the node's name.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Net returns the owning network.
+func (nd *Node) Net() *Network { return nd.net }
+
+// World returns the simulation world.
+func (nd *Node) World() *sim.World { return nd.net.world }
+
+// Up reports whether the process is running.
+func (nd *Node) Up() bool { return nd.up }
+
+// Unplugged reports whether the NIC is disconnected.
+func (nd *Node) Unplugged() bool { return nd.unplugged }
+
+// SetHandler installs (or replaces) the message handler.
+func (nd *Node) SetHandler(h Handler) { nd.handler = h }
+
+// Send delivers a one-way message (subject to faults and latency).
+func (nd *Node) Send(to NodeID, msg any) {
+	nd.net.send(nd, to, envelope{kind: envOneway, payload: msg})
+}
+
+// Call issues an RPC. cb runs exactly once: with the response, or with
+// ErrTimeout after the deadline, or never if this node crashes first.
+func (nd *Node) Call(to NodeID, req any, timeout sim.Time, cb func(resp any, err error)) {
+	if !nd.up {
+		// Local process is dead; nothing can run a callback meaningfully.
+		return
+	}
+	nd.nextCall++
+	id := nd.nextCall
+	pc := &pendingCall{cb: cb}
+	if timeout > 0 {
+		gen := nd.gen
+		pc.timer = nd.net.world.After(timeout, "rpc-timeout:"+string(nd.id), func() {
+			if nd.gen != gen || !nd.up {
+				return
+			}
+			if p, ok := nd.pending[id]; ok && p == pc {
+				delete(nd.pending, id)
+				pc.cb(nil, ErrTimeout)
+			}
+		})
+	}
+	nd.pending[id] = pc
+	nd.net.send(nd, to, envelope{kind: envRequest, id: id, payload: req})
+}
+
+// deliver dispatches an arrived envelope to the local handler or a pending
+// callback.
+func (nd *Node) deliver(from NodeID, env envelope) {
+	switch env.kind {
+	case envOneway:
+		if nd.handler != nil {
+			nd.handler.HandleMessage(from, env.payload)
+		}
+	case envRequest:
+		rh, ok := nd.handler.(RequestHandler)
+		if !ok {
+			return // node does not serve RPCs; request times out at caller
+		}
+		replied := false
+		gen := nd.gen
+		id := env.id
+		rh.HandleRequest(from, env.payload, func(resp any) {
+			if replied {
+				panic("simnet: reply invoked twice")
+			}
+			replied = true
+			if nd.gen != gen || !nd.up {
+				return // we crashed since receiving the request
+			}
+			nd.net.send(nd, from, envelope{kind: envResponse, id: id, payload: resp})
+		})
+	case envResponse:
+		pc, ok := nd.pending[env.id]
+		if !ok {
+			return // late response after timeout or crash
+		}
+		delete(nd.pending, env.id)
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		pc.cb(env.payload, nil)
+	}
+}
+
+// After schedules fn on this node's behalf; it silently does not fire if the
+// node has crashed or restarted in the meantime.
+func (nd *Node) After(d sim.Time, name string, fn func()) *sim.Timer {
+	gen := nd.gen
+	return nd.net.world.After(d, string(nd.id)+":"+name, func() {
+		if nd.up && nd.gen == gen {
+			fn()
+		}
+	})
+}
+
+// Crash stops the process: timers die, pending RPC callbacks are dropped,
+// and in-flight messages to it are discarded at delivery.
+func (nd *Node) Crash() {
+	if !nd.up {
+		return
+	}
+	nd.up = false
+	nd.gen++
+	nd.pending = make(map[uint64]*pendingCall)
+	if nd.net.log != nil {
+		nd.net.log.Emit(trace.KindFault, string(nd.id), "crash")
+	}
+}
+
+// Restart brings the process back up with a fresh generation. The caller is
+// responsible for re-initialising the handler's state (a restarted server
+// rejoins as a junior in MAMS terms).
+func (nd *Node) Restart() {
+	if nd.up {
+		return
+	}
+	nd.up = true
+	nd.gen++
+	if nd.net.log != nil {
+		nd.net.log.Emit(trace.KindFault, string(nd.id), "restart")
+	}
+}
+
+// Unplug disconnects the NIC while the process keeps running.
+func (nd *Node) Unplug() {
+	if nd.unplugged {
+		return
+	}
+	nd.unplugged = true
+	if nd.net.log != nil {
+		nd.net.log.Emit(trace.KindFault, string(nd.id), "unplug")
+	}
+}
+
+// Replug reconnects the NIC.
+func (nd *Node) Replug() {
+	if !nd.unplugged {
+		return
+	}
+	nd.unplugged = false
+	if nd.net.log != nil {
+		nd.net.log.Emit(trace.KindFault, string(nd.id), "replug")
+	}
+}

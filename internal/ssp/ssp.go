@@ -1,0 +1,413 @@
+// Package ssp implements the shared storage pool from the paper (§III.A):
+// a pool of storage services co-located with existing metadata/backup
+// servers ("needs no additional device or third-party software support")
+// that holds namespace images and journal segments as replicated shared
+// files.
+//
+// The active writes journal batches and checkpoint images into the pool;
+// juniors renew by reading the latest image plus the journal tail — from
+// the local pool node when one is co-located, which is the paper's
+// "obtain them locally from the pool and reduce the transmission latency".
+//
+// Objects carry a logical Size that may exceed len(data): experiments model
+// very large namespaces (the paper's 16 MB–1 GB images) without
+// materializing them, and the pool charges disk/network time for the
+// logical size.
+package ssp
+
+import (
+	"errors"
+	"sort"
+
+	"mams/internal/sim"
+	"mams/internal/simnet"
+)
+
+// Object kinds stored in the pool.
+type Kind uint8
+
+// Pool object kinds.
+const (
+	KindImage   Kind = iota + 1 // checkpoint image; Seq = sn it covers
+	KindJournal                 // one journal batch; Seq = its sn
+)
+
+// Key identifies one shared file.
+type Key struct {
+	Group string // replica group (or system) the object belongs to
+	Kind  Kind
+	Seq   uint64
+}
+
+// Pool errors.
+var (
+	ErrNotFound = errors.New("ssp: object not found")
+	ErrNoPool   = errors.New("ssp: no pool node reachable")
+)
+
+// Params models pool node hardware (a GbE testbed node of the paper's era).
+type Params struct {
+	DiskWriteBW float64 // bytes per second
+	DiskReadBW  float64 // bytes per second
+	NetBW       float64 // bytes per second, for remote transfers
+	OpOverhead  sim.Time
+}
+
+// DefaultParams returns the calibration used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		DiskWriteBW: 90e6,
+		DiskReadBW:  110e6,
+		NetBW:       117e6, // ~1 Gbit/s payload rate
+		OpOverhead:  300 * sim.Microsecond,
+	}
+}
+
+func (p Params) writeCost(size int64) sim.Time {
+	return p.OpOverhead + sim.Time(float64(size)/p.DiskWriteBW*float64(sim.Second))
+}
+
+func (p Params) readCost(size int64) sim.Time {
+	return p.OpOverhead + sim.Time(float64(size)/p.DiskReadBW*float64(sim.Second))
+}
+
+func (p Params) transferCost(size int64) sim.Time {
+	return sim.Time(float64(size) / p.NetBW * float64(sim.Second))
+}
+
+type object struct {
+	data []byte
+	size int64
+}
+
+// Pool node wire messages (RPC payloads).
+type storeReq struct {
+	Key  Key
+	Data []byte
+	Size int64
+}
+
+type storeResp struct {
+	Err string
+}
+
+type fetchReq struct {
+	Key Key
+}
+
+type fetchResp struct {
+	Err  string
+	Data []byte
+	Size int64
+}
+
+type listReq struct {
+	Group string
+}
+
+type listResp struct {
+	Keys  []Key
+	Sizes []int64
+}
+
+type hasReq struct {
+	Key Key
+}
+
+type hasResp struct {
+	Has  bool
+	Size int64
+}
+
+type deleteReq struct {
+	Key Key
+}
+
+type deleteResp struct{}
+
+// PoolNode is the storage service component hosted on a server process. It
+// answers store/fetch/list RPCs with service times derived from Params.
+type PoolNode struct {
+	host    *simnet.Node
+	params  Params
+	objects map[Key]object
+}
+
+// NewPoolNode attaches pool storage to a host process.
+func NewPoolNode(host *simnet.Node, params Params) *PoolNode {
+	return &PoolNode{host: host, params: params, objects: map[Key]object{}}
+}
+
+// MaybeHandleRequest serves pool RPCs addressed to the host. Hosts call it
+// from HandleRequest and skip requests it consumed.
+func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(any)) bool {
+	switch m := req.(type) {
+	case storeReq:
+		cost := p.params.writeCost(m.Size)
+		p.host.After(cost, "ssp-store", func() {
+			p.objects[m.Key] = object{data: append([]byte(nil), m.Data...), size: m.Size}
+			reply(storeResp{})
+		})
+		return true
+	case fetchReq:
+		obj, ok := p.objects[m.Key]
+		if !ok {
+			reply(fetchResp{Err: ErrNotFound.Error()})
+			return true
+		}
+		cost := p.params.readCost(obj.size)
+		if from != p.host.ID() {
+			cost += p.params.transferCost(obj.size)
+		}
+		p.host.After(cost, "ssp-fetch", func() {
+			reply(fetchResp{Data: append([]byte(nil), obj.data...), Size: obj.size})
+		})
+		return true
+	case hasReq:
+		obj, ok := p.objects[m.Key]
+		reply(hasResp{Has: ok, Size: obj.size})
+		return true
+	case listReq:
+		var keys []Key
+		var sizes []int64
+		for k := range p.objects {
+			if k.Group == m.Group {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Kind != keys[j].Kind {
+				return keys[i].Kind < keys[j].Kind
+			}
+			return keys[i].Seq < keys[j].Seq
+		})
+		for _, k := range keys {
+			sizes = append(sizes, p.objects[k].size)
+		}
+		reply(listResp{Keys: keys, Sizes: sizes})
+		return true
+	case deleteReq:
+		delete(p.objects, m.Key)
+		reply(deleteResp{})
+		return true
+	}
+	return false
+}
+
+// LocalGet reads an object from this pool node without any network. The
+// callback fires after the modeled disk-read time.
+func (p *PoolNode) LocalGet(key Key, cb func(data []byte, size int64, err error)) {
+	obj, ok := p.objects[key]
+	if !ok {
+		p.host.After(0, "ssp-localget-miss", func() { cb(nil, 0, ErrNotFound) })
+		return
+	}
+	p.host.After(p.params.readCost(obj.size), "ssp-localget", func() {
+		cb(append([]byte(nil), obj.data...), obj.size, nil)
+	})
+}
+
+// Has reports whether the key is stored locally (no time cost; metadata
+// lookups are in-memory).
+func (p *PoolNode) Has(key Key) bool {
+	_, ok := p.objects[key]
+	return ok
+}
+
+// ObjectCount reports how many objects this node stores.
+func (p *PoolNode) ObjectCount() int { return len(p.objects) }
+
+// Client writes and reads pool objects on behalf of a host process.
+type Client struct {
+	host    *simnet.Node
+	pools   []simnet.NodeID
+	local   *PoolNode // non-nil when a pool node is co-located with host
+	replica int       // write replication factor
+	timeout sim.Time
+}
+
+// NewClient builds a pool client. local may be nil; replica is clamped to
+// the pool size.
+func NewClient(host *simnet.Node, pools []simnet.NodeID, local *PoolNode, replica int) *Client {
+	if replica <= 0 {
+		replica = 2
+	}
+	if replica > len(pools) {
+		replica = len(pools)
+	}
+	return &Client{host: host, pools: pools, local: local, replica: replica, timeout: 120 * sim.Second}
+}
+
+// targets picks the replica set for a key: the local node first (cheap
+// sequential local write), then deterministic rotation by Seq so load
+// spreads across the pool.
+func (c *Client) targets(key Key) []simnet.NodeID {
+	ordered := make([]simnet.NodeID, 0, len(c.pools))
+	if c.local != nil {
+		ordered = append(ordered, c.host.ID())
+	}
+	n := len(c.pools)
+	start := int(key.Seq) % n
+	for i := 0; i < n; i++ {
+		id := c.pools[(start+i)%n]
+		if c.local != nil && id == c.host.ID() {
+			continue
+		}
+		ordered = append(ordered, id)
+	}
+	if len(ordered) > c.replica {
+		ordered = ordered[:c.replica]
+	}
+	return ordered
+}
+
+// Put replicates an object to the pool and reports once all replicas have
+// acknowledged (journal durability requires every copy).
+func (c *Client) Put(key Key, data []byte, size int64, cb func(err error)) {
+	targets := c.targets(key)
+	if len(targets) == 0 {
+		c.host.After(0, "ssp-put-nopool", func() { cb(ErrNoPool) })
+		return
+	}
+	remaining := len(targets)
+	var firstErr error
+	done := false
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 && !done {
+			done = true
+			cb(firstErr)
+		}
+	}
+	for _, target := range targets {
+		c.host.Call(target, storeReq{Key: key, Data: data, Size: size}, c.timeout,
+			func(resp any, err error) {
+				if err != nil {
+					finish(err)
+					return
+				}
+				sr := resp.(storeResp)
+				if sr.Err != "" {
+					finish(errors.New(sr.Err))
+					return
+				}
+				finish(nil)
+			})
+	}
+}
+
+// Get fetches an object, preferring the co-located pool node ("the junior
+// may obtain them locally from the pool") and falling back to remote
+// replicas.
+func (c *Client) Get(key Key, cb func(data []byte, size int64, err error)) {
+	if c.local != nil && c.local.Has(key) {
+		c.local.LocalGet(key, cb)
+		return
+	}
+	c.getRemote(key, 0, cb)
+}
+
+func (c *Client) getRemote(key Key, idx int, cb func(data []byte, size int64, err error)) {
+	// Skip self (already checked via local).
+	for idx < len(c.pools) && c.pools[idx] == c.host.ID() {
+		idx++
+	}
+	if idx >= len(c.pools) {
+		cb(nil, 0, ErrNotFound)
+		return
+	}
+	target := c.pools[idx]
+	// Cheap existence probe first: a dead or copyless replica is skipped
+	// in seconds instead of stalling for an image-sized transfer timeout.
+	c.host.Call(target, hasReq{Key: key}, 2*sim.Second, func(resp any, err error) {
+		if err != nil {
+			c.getRemote(key, idx+1, cb)
+			return
+		}
+		hr, ok := resp.(hasResp)
+		if !ok || !hr.Has {
+			c.getRemote(key, idx+1, cb)
+			return
+		}
+		// Size the transfer timeout to the object: a replica that dies
+		// mid-transfer is abandoned after ~2x the expected time instead of
+		// a flat worst-case wait.
+		fetchTimeout := 10*sim.Second + sim.Time(float64(hr.Size)/50e6*float64(sim.Second))
+		if fetchTimeout > c.timeout {
+			fetchTimeout = c.timeout
+		}
+		c.host.Call(target, fetchReq{Key: key}, fetchTimeout, func(resp any, err error) {
+			if err != nil {
+				c.getRemote(key, idx+1, cb)
+				return
+			}
+			fr := resp.(fetchResp)
+			if fr.Err != "" {
+				c.getRemote(key, idx+1, cb)
+				return
+			}
+			cb(fr.Data, fr.Size, nil)
+		})
+	})
+}
+
+// List returns the keys (and logical sizes) stored for a group, merging the
+// views of reachable pool nodes so a single down replica cannot hide the
+// journal tail.
+func (c *Client) List(group string, cb func(keys []Key, sizes map[Key]int64, err error)) {
+	merged := map[Key]int64{}
+	remaining := len(c.pools)
+	anyOK := false
+	if remaining == 0 {
+		c.host.After(0, "ssp-list-nopool", func() { cb(nil, nil, ErrNoPool) })
+		return
+	}
+	finish := func(ok bool) {
+		if ok {
+			anyOK = true
+		}
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if !anyOK {
+			cb(nil, nil, ErrNoPool)
+			return
+		}
+		keys := make([]Key, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Kind != keys[j].Kind {
+				return keys[i].Kind < keys[j].Kind
+			}
+			return keys[i].Seq < keys[j].Seq
+		})
+		cb(keys, merged, nil)
+	}
+	for _, p := range c.pools {
+		c.host.Call(p, listReq{Group: group}, 2*sim.Second, func(resp any, err error) {
+			if err != nil {
+				finish(false)
+				return
+			}
+			lr := resp.(listResp)
+			for i, k := range lr.Keys {
+				merged[k] = lr.Sizes[i]
+			}
+			finish(true)
+		})
+	}
+}
+
+// Delete removes an object from every pool node (checkpoint garbage
+// collection). Best effort.
+func (c *Client) Delete(key Key) {
+	for _, p := range c.pools {
+		c.host.Call(p, deleteReq{Key: key}, 2*sim.Second, func(any, error) {})
+	}
+}

@@ -1,0 +1,241 @@
+// Package wire implements the compact binary encoding used for journal
+// records, journal batches and namespace images stored in the shared
+// storage pool. Encoding is real (byte-accurate), so image sizes measured
+// by the experiments reflect actual serialized state.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports a malformed or truncated buffer.
+var ErrCorrupt = errors.New("wire: corrupt data")
+
+// Writer appends primitive values to a growing byte buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer (owned by the writer).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a signed varint (zig-zag).
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a fixed-width big-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// U32 appends a fixed-width big-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a fixed-width big-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Reader consumes primitive values from a byte buffer. The first decoding
+// error sticks; callers check Err (or use the Must* helpers) once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the sticky decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", ErrCorrupt, r.off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a fixed-width big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a fixed-width big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a fixed-width big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Blob reads a length-prefixed byte slice (copied).
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return b
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if r.err != nil {
+		return false
+	}
+	if v > 1 {
+		r.fail()
+		return false
+	}
+	return v == 1
+}
+
+// Finish returns ErrCorrupt if any decode failed or bytes remain unread.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 17)
+	w.Varint(-12345)
+	w.U8(0xAB)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0123456789ABCDEF)
+	w.String("hello, 世界")
+	w.Blob([]byte{1, 2, 3})
+	w.Bool(true)
+	w.Bool(false)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint0 = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+17 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Fatalf("varint = %d", got)
+	}
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("u8 = %x", got)
+	}
+	if got := r.U16(); got != 0xBEEF {
+		t.Fatalf("u16 = %x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("u32 = %x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Fatalf("u64 = %x", got)
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Fatalf("string = %q", got)
+	}
+	b := r.Blob()
+	if len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Fatalf("blob = %v", b)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestTruncatedBufferErrors(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(42)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestTruncatedStringErrors(t *testing.T) {
+	w := NewWriter(0)
+	w.String("abcdefgh")
+	r := NewReader(w.Bytes()[:4])
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("expected error on truncated string body")
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	r.U32() // fails
+	if got := r.U64(); got != 0 {
+		t.Fatalf("after error U64 = %d, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.U8()
+	if err := r.Finish(); err == nil {
+		t.Fatal("Finish should reject trailing bytes")
+	}
+}
+
+func TestInvalidBoolByte(t *testing.T) {
+	r := NewReader([]byte{7})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("expected error for bool byte 7")
+	}
+}
+
+func TestBlobCopyIsIndependent(t *testing.T) {
+	w := NewWriter(0)
+	w.Blob([]byte{9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b := r.Blob()
+	buf[1] = 0 // mutate the source buffer
+	if b[0] != 9 {
+		t.Fatal("Blob aliases the input buffer")
+	}
+}
+
+func TestPropertyVarintRoundTrip(t *testing.T) {
+	f := func(v int64, u uint64, s string) bool {
+		w := NewWriter(0)
+		w.Varint(v)
+		w.Uvarint(u)
+		w.String(s)
+		r := NewReader(w.Bytes())
+		return r.Varint() == v && r.Uvarint() == u && r.String() == s && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBlobRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		w := NewWriter(0)
+		w.Blob(b)
+		r := NewReader(w.Bytes())
+		got := r.Blob()
+		if r.Finish() != nil || len(got) != len(b) {
+			return false
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLenTracksBytes(t *testing.T) {
+	w := NewWriter(0)
+	if w.Len() != 0 {
+		t.Fatal("empty writer nonzero length")
+	}
+	w.U32(1)
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}

@@ -1,0 +1,315 @@
+// Package workload drives metadata operations against any of the simulated
+// systems, reproducing the paper's load patterns: single-operation
+// throughput runs (Fig. 5), mixed workloads (Fig. 6), and continuous
+// create/mkdir streams during fault injection (Table I, Fig. 8).
+package workload
+
+import (
+	"fmt"
+
+	"mams/internal/cluster"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/namespace"
+	"mams/internal/rng"
+	"mams/internal/sim"
+)
+
+// Mix assigns relative weights to operation kinds.
+type Mix map[mams.OpKind]float64
+
+// MixedPaper is Figure 6's workload: "mixed create, getfileinfo, and mkdir
+// operations".
+func MixedPaper() Mix {
+	return Mix{mams.OpCreate: 0.4, mams.OpStat: 0.4, mams.OpMkdir: 0.2}
+}
+
+// CreateMkdir is the §IV.C failover workload: "continuous create and
+// regular mkdir operations".
+func CreateMkdir() Mix {
+	return Mix{mams.OpCreate: 0.9, mams.OpMkdir: 0.1}
+}
+
+// Driver owns a set of clients and a file-name pool, and issues operations
+// in closed loop.
+type Driver struct {
+	env     *cluster.Env
+	sys     cluster.System
+	clients []*fsclient.Client
+	rng     *rng.RNG
+
+	dirs    []string
+	pool    []string // existing files (for stat/delete/rename)
+	nameSeq int
+	dirSeq  int
+	zipf    *rng.Zipf // optional skewed read-target sampler
+
+	completed int
+	failed    int
+}
+
+// NewDriver attaches n clients to the system. onResult (may be nil)
+// observes every operation.
+func NewDriver(env *cluster.Env, sys cluster.System, n int, onResult func(fsclient.Result)) *Driver {
+	d := &Driver{env: env, sys: sys, rng: env.RNG.Split("workload:" + sys.Name())}
+	for i := 0; i < n; i++ {
+		d.clients = append(d.clients, sys.NewClient(onResult))
+	}
+	return d
+}
+
+// Completed returns the number of finished operations.
+func (d *Driver) Completed() int { return d.completed }
+
+// Failed returns the number of failed operations.
+func (d *Driver) Failed() int { return d.failed }
+
+// Pool returns the current file pool size.
+func (d *Driver) Pool() int { return len(d.pool) }
+
+func (d *Driver) client(i int) *fsclient.Client {
+	return d.clients[i%len(d.clients)]
+}
+
+// Setup creates the base directories used by the generators. It runs the
+// world until done.
+func (d *Driver) Setup(dirs int) {
+	done := 0
+	want := dirs
+	for i := 0; i < dirs; i++ {
+		dir := fmt.Sprintf("/bench/d%03d", i)
+		d.dirs = append(d.dirs, dir)
+	}
+	d.env.World.Defer("workload-setup", func() {
+		d.client(0).Mkdir("/bench", func(error) {
+			for i, dir := range d.dirs {
+				dir := dir
+				d.client(i).Mkdir(dir, func(err error) { done++ })
+			}
+		})
+	})
+	deadline := d.env.Now() + 120*sim.Second
+	for done < want && d.env.Now() < deadline {
+		d.env.RunFor(100 * sim.Millisecond)
+	}
+	if done < want {
+		panic("workload: setup did not finish")
+	}
+}
+
+// UseZipfReads switches getfileinfo target selection from uniform to a
+// Zipf(s) popularity distribution over the current pool.
+func (d *Driver) UseZipfReads(s float64) {
+	if len(d.pool) == 0 {
+		d.zipf = rng.NewZipf(d.rng.Split("zipf"), 1, s)
+		return
+	}
+	d.zipf = rng.NewZipf(d.rng.Split("zipf"), len(d.pool), s)
+}
+
+// Preload creates n files (spread over the directories) so read/delete/
+// rename runs have targets. It runs the world until done.
+func (d *Driver) Preload(n, concurrency int) {
+	remaining := n
+	completed := 0
+	var issue func(ci int)
+	issue = func(ci int) {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		path := d.newPath()
+		d.client(ci).Create(path, 1024, func(err error) {
+			completed++
+			if err == nil {
+				d.pool = append(d.pool, path)
+			}
+			issue(ci)
+		})
+	}
+	d.env.World.Defer("workload-preload", func() {
+		for c := 0; c < concurrency; c++ {
+			issue(c)
+		}
+	})
+	deadline := d.env.Now() + 3600*sim.Second
+	for completed < n && d.env.Now() < deadline {
+		d.env.RunFor(250 * sim.Millisecond)
+	}
+	if completed < n {
+		panic("workload: preload did not finish")
+	}
+}
+
+func (d *Driver) newPath() string {
+	d.nameSeq++
+	dir := "/bench"
+	if len(d.dirs) > 0 {
+		dir = d.dirs[d.nameSeq%len(d.dirs)]
+	}
+	return fmt.Sprintf("%s/f%08d", dir, d.nameSeq)
+}
+
+func (d *Driver) newDirPath() string {
+	d.dirSeq++
+	dir := "/bench"
+	if len(d.dirs) > 0 {
+		dir = d.dirs[d.dirSeq%len(d.dirs)]
+	}
+	return fmt.Sprintf("%s/sub%08d", dir, d.dirSeq)
+}
+
+// issueOne fires a single operation of the given kind and calls done on
+// completion.
+func (d *Driver) issueOne(kind mams.OpKind, ci int, done func(err error)) {
+	cl := d.client(ci)
+	switch kind {
+	case mams.OpCreate:
+		path := d.newPath()
+		cl.Create(path, 1024, func(err error) {
+			if err == nil {
+				d.pool = append(d.pool, path)
+			}
+			done(err)
+		})
+	case mams.OpMkdir:
+		cl.Mkdir(d.newDirPath(), done)
+	case mams.OpStat:
+		if len(d.pool) == 0 {
+			cl.Stat("/bench", func(_ *statInfo, err error) { done(err) })
+			return
+		}
+		idx := d.rng.Intn(len(d.pool))
+		if d.zipf != nil {
+			// Skewed popularity: hot files dominate, as in real metadata
+			// traces.
+			idx = d.zipf.Draw() % len(d.pool)
+		}
+		path := d.pool[idx]
+		cl.Stat(path, func(_ *statInfo, err error) { done(err) })
+	case mams.OpDelete:
+		if len(d.pool) == 0 {
+			done(nil)
+			return
+		}
+		i := d.rng.Intn(len(d.pool))
+		path := d.pool[i]
+		d.pool[i] = d.pool[len(d.pool)-1]
+		d.pool = d.pool[:len(d.pool)-1]
+		cl.Delete(path, done)
+	case mams.OpRename:
+		if len(d.pool) == 0 {
+			done(nil)
+			return
+		}
+		i := d.rng.Intn(len(d.pool))
+		src := d.pool[i]
+		dst := d.newPath()
+		d.pool[i] = dst
+		cl.Rename(src, dst, done)
+	default:
+		done(nil)
+	}
+}
+
+// pick draws an operation kind from the mix.
+func (d *Driver) pick(mix Mix) mams.OpKind {
+	total := 0.0
+	for _, w := range mix {
+		total += w
+	}
+	u := d.rng.Float64() * total
+	// Iterate kinds in a fixed order for determinism.
+	order := []mams.OpKind{mams.OpCreate, mams.OpMkdir, mams.OpDelete, mams.OpRename, mams.OpStat, mams.OpList}
+	for _, k := range order {
+		w, ok := mix[k]
+		if !ok {
+			continue
+		}
+		if u < w {
+			return k
+		}
+		u -= w
+	}
+	return mams.OpStat
+}
+
+// RunOps issues exactly n operations of one kind in closed loop with the
+// given total concurrency and returns the elapsed virtual time.
+func (d *Driver) RunOps(kind mams.OpKind, n, concurrency int) sim.Time {
+	return d.run(Mix{kind: 1}, n, concurrency, 0)
+}
+
+// RunMix issues exactly n operations drawn from the mix.
+func (d *Driver) RunMix(mix Mix, n, concurrency int) sim.Time {
+	return d.run(mix, n, concurrency, 0)
+}
+
+// run drives the closed loop until n ops complete (or duration elapses if
+// n == 0). The elapsed time is measured to the final completion, not to
+// the polling boundary, so throughput has full virtual-clock resolution.
+func (d *Driver) run(mix Mix, n, concurrency int, duration sim.Time) sim.Time {
+	start := d.env.Now()
+	lastDone := start
+	issued, completed := 0, 0
+	stop := false
+	var issue func(ci int)
+	issue = func(ci int) {
+		if stop || (n > 0 && issued >= n) {
+			return
+		}
+		issued++
+		d.issueOne(d.pick(mix), ci, func(err error) {
+			completed++
+			d.completed++
+			lastDone = d.env.Now()
+			if err != nil {
+				d.failed++
+			}
+			issue(ci)
+		})
+	}
+	d.env.World.Defer("workload-run", func() {
+		for c := 0; c < concurrency; c++ {
+			issue(c)
+		}
+	})
+	if n > 0 {
+		deadline := d.env.Now() + 7200*sim.Second
+		for completed < n && d.env.Now() < deadline {
+			d.env.RunFor(250 * sim.Millisecond)
+		}
+		return lastDone - start
+	}
+	d.env.RunFor(duration)
+	stop = true
+	return d.env.Now() - start
+}
+
+// Continuous starts an open-ended closed-loop mix and returns a stop
+// function. The caller advances the world.
+func (d *Driver) Continuous(mix Mix, concurrency int) (stop func()) {
+	stopped := false
+	var issue func(ci int)
+	issue = func(ci int) {
+		if stopped {
+			return
+		}
+		d.issueOne(d.pick(mix), ci, func(err error) {
+			d.completed++
+			if err != nil {
+				d.failed++
+			}
+			issue(ci)
+		})
+	}
+	d.env.World.Defer("workload-continuous", func() {
+		for c := 0; c < concurrency; c++ {
+			issue(c)
+		}
+	})
+	return func() { stopped = true }
+}
+
+// statInfo aliases the namespace info type used by fsclient.Stat.
+type statInfo = namespace.Info

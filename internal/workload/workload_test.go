@@ -1,0 +1,168 @@
+package workload_test
+
+import (
+	"mams/internal/fsclient"
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/mams"
+	"mams/internal/metrics"
+	"mams/internal/sim"
+	"mams/internal/workload"
+)
+
+func buildSys(t *testing.T, seed uint64) (*cluster.Env, cluster.System) {
+	t.Helper()
+	env := cluster.NewEnv(seed)
+	sys := cluster.BuildHDFS(env, cluster.BaselineSpec{})
+	if !sys.AwaitReady(10 * sim.Second) {
+		t.Fatal("not ready")
+	}
+	return env, sys
+}
+
+func TestSetupCreatesDirectories(t *testing.T) {
+	env, sys := buildSys(t, 61)
+	drv := workload.NewDriver(env, sys, 2, nil)
+	drv.Setup(5)
+	// Creating files under every directory must succeed.
+	elapsed := drv.RunOps(mams.OpCreate, 50, 4)
+	if elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if drv.Failed() != 0 {
+		t.Fatalf("%d setup-dependent creates failed", drv.Failed())
+	}
+}
+
+func TestRunOpsCompletesExactly(t *testing.T) {
+	env, sys := buildSys(t, 62)
+	drv := workload.NewDriver(env, sys, 2, nil)
+	drv.Setup(2)
+	drv.RunOps(mams.OpCreate, 123, 8)
+	if drv.Completed() != 123 {
+		t.Fatalf("completed = %d", drv.Completed())
+	}
+	if drv.Pool() != 123 {
+		t.Fatalf("pool = %d", drv.Pool())
+	}
+}
+
+func TestPreloadPopulatesPool(t *testing.T) {
+	env, sys := buildSys(t, 63)
+	drv := workload.NewDriver(env, sys, 2, nil)
+	drv.Setup(2)
+	drv.Preload(200, 8)
+	if drv.Pool() != 200 {
+		t.Fatalf("pool = %d", drv.Pool())
+	}
+	// Deletes consume the pool.
+	drv.RunOps(mams.OpDelete, 50, 4)
+	if drv.Pool() != 150 {
+		t.Fatalf("pool after deletes = %d", drv.Pool())
+	}
+	if drv.Failed() != 0 {
+		t.Fatalf("failed = %d", drv.Failed())
+	}
+}
+
+func TestRenameKeepsPoolConsistent(t *testing.T) {
+	env, sys := buildSys(t, 64)
+	drv := workload.NewDriver(env, sys, 2, nil)
+	drv.Setup(2)
+	drv.Preload(100, 8)
+	drv.RunOps(mams.OpRename, 100, 4)
+	if drv.Failed() != 0 {
+		t.Fatalf("failed = %d (pool path bookkeeping broken?)", drv.Failed())
+	}
+	// Stats against the (renamed) pool still work.
+	drv.RunOps(mams.OpStat, 100, 4)
+	if drv.Failed() != 0 {
+		t.Fatalf("stat after rename failed = %d", drv.Failed())
+	}
+}
+
+func TestMixedRunRespectsWeights(t *testing.T) {
+	env, sys := buildSys(t, 65)
+	col := &metrics.Collector{}
+	drv := workload.NewDriver(env, sys, 4, col.Observe)
+	drv.Setup(4)
+	drv.Preload(100, 8)
+	n := 2000
+	drv.RunMix(workload.MixedPaper(), n, 16)
+	counts := map[mams.OpKind]int{}
+	for _, r := range col.Results {
+		counts[r.Kind]++
+	}
+	// 40/40/20 within generous tolerance.
+	frac := func(k mams.OpKind) float64 { return float64(counts[k]) / float64(n) }
+	if f := frac(mams.OpCreate); f < 0.3 || f > 0.5 {
+		t.Fatalf("create fraction = %.2f", f)
+	}
+	if f := frac(mams.OpStat); f < 0.3 || f > 0.5 {
+		t.Fatalf("stat fraction = %.2f", f)
+	}
+	if f := frac(mams.OpMkdir); f < 0.12 || f > 0.28 {
+		t.Fatalf("mkdir fraction = %.2f", f)
+	}
+}
+
+func TestContinuousStops(t *testing.T) {
+	env, sys := buildSys(t, 66)
+	drv := workload.NewDriver(env, sys, 2, nil)
+	drv.Setup(2)
+	stop := drv.Continuous(workload.CreateMkdir(), 4)
+	env.RunFor(2 * sim.Second)
+	stop()
+	env.RunFor(sim.Second)
+	after := drv.Completed()
+	env.RunFor(2 * sim.Second)
+	if drv.Completed() != after {
+		t.Fatalf("ops continued after stop: %d -> %d", after, drv.Completed())
+	}
+	if after == 0 {
+		t.Fatal("continuous produced nothing")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, sim.Time) {
+		env, sys := buildSys(t, 67)
+		drv := workload.NewDriver(env, sys, 2, nil)
+		drv.Setup(2)
+		elapsed := drv.RunOps(mams.OpCreate, 500, 8)
+		return drv.Completed(), elapsed
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 || e1 != e2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", c1, e1, c2, e2)
+	}
+}
+
+func TestZipfReadsSkewTargets(t *testing.T) {
+	env, sys := buildSys(t, 68)
+	counts := map[string]int{}
+	drv := workload.NewDriver(env, sys, 2, func(r resultAlias) {
+		if r.Kind == mams.OpStat {
+			counts[r.Path]++
+		}
+	})
+	drv.Setup(2)
+	drv.Preload(200, 8)
+	drv.UseZipfReads(1.1)
+	drv.RunOps(mams.OpStat, 5000, 8)
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Under uniform selection the max would be ~25/5000; Zipf(1.1) pushes
+	// the hottest file far above that.
+	if max < 100 {
+		t.Fatalf("hottest file hit %d times; Zipf skew missing", max)
+	}
+}
+
+type resultAlias = fsclient.Result

@@ -1,0 +1,141 @@
+// Package mamsfs is the public entry point of the MAMS reproduction: a
+// discrete-event-simulated implementation of "MAMS: A Highly Reliable
+// Policy for Metadata Service" (Zhou, Chen, Wang, Meng — ICPP 2015),
+// including the CFS-style multi-group metadata service governed by the
+// MAMS policy, the coordination/consensus/storage substrates it depends
+// on, the four baseline HA designs the paper compares against, and the
+// experiment harness that regenerates every table and figure of §IV.
+//
+// # Quick start
+//
+//	env := mamsfs.NewEnv(1)
+//	c := mamsfs.BuildMAMS(env, mamsfs.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+//	c.AwaitStable(30 * mamsfs.Second)
+//	cli := c.NewClient(nil)
+//	cli.Mkdir("/data", func(err error) { ... })
+//	env.RunFor(mamsfs.Second)
+//
+// Everything runs on a virtual clock: experiments covering hundreds of
+// simulated seconds finish in milliseconds of real time, deterministically
+// for a given seed.
+//
+// # Layout
+//
+//   - Cluster builders: BuildMAMS, BuildHDFS, BuildBackupNode, BuildAvatar,
+//     BuildHadoopHA, BuildBoomFS — each returns a running deployment that
+//     serves the same client protocol.
+//   - Workload/measurement: NewDriver, Collector.
+//   - Experiments: Figure5..Figure9, TableI, TableII regenerate the paper's
+//     evaluation artifacts.
+//   - MapReduce: NewJob runs the §IV.D wordcount over any deployment.
+package mamsfs
+
+import (
+	"mams/internal/cluster"
+	"mams/internal/experiments"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/mapreduce"
+	"mams/internal/metrics"
+	"mams/internal/namespace"
+	"mams/internal/sim"
+	"mams/internal/workload"
+)
+
+// Virtual-time units (re-exported from the simulation kernel).
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// Time is a virtual-time instant or duration.
+type Time = sim.Time
+
+// Core deployment types.
+type (
+	// Env is one simulated world (clock + network + trace).
+	Env = cluster.Env
+	// MAMSSpec sizes a CFS deployment under the MAMS policy.
+	MAMSSpec = cluster.MAMSSpec
+	// MAMSCluster is a running CFS deployment.
+	MAMSCluster = cluster.MAMSCluster
+	// BaselineSpec sizes a baseline deployment.
+	BaselineSpec = cluster.BaselineSpec
+	// System abstracts any of the six metadata services.
+	System = cluster.System
+	// Client is the file-system client with transparent failover.
+	Client = fsclient.Client
+	// Result records one client operation for metrics collection.
+	Result = fsclient.Result
+	// Collector accumulates operation results.
+	Collector = metrics.Collector
+	// Driver issues closed-loop workloads.
+	Driver = workload.Driver
+	// Mix weights operation kinds in a workload.
+	Mix = workload.Mix
+	// JobConfig sizes a MapReduce job.
+	JobConfig = mapreduce.JobConfig
+	// Job is a running MapReduce job.
+	Job = mapreduce.Job
+	// JobResult reports MapReduce task completion times.
+	JobResult = mapreduce.Result
+	// ExperimentOptions scales the paper-reproduction experiments.
+	ExperimentOptions = experiments.Options
+	// FileInfo describes one file or directory.
+	FileInfo = namespace.Info
+)
+
+// OpKind identifies a metadata operation for workload construction.
+type OpKind = mams.OpKind
+
+// The five metadata operations the paper benchmarks, plus list.
+const (
+	OpCreate = mams.OpCreate
+	OpMkdir  = mams.OpMkdir
+	OpDelete = mams.OpDelete
+	OpRename = mams.OpRename
+	OpStat   = mams.OpStat
+	OpList   = mams.OpList
+)
+
+// NewEnv builds a deterministic simulated environment from a seed.
+func NewEnv(seed uint64) *Env { return cluster.NewEnv(seed) }
+
+// BuildMAMS deploys the paper's system: hash-partitioned replica groups of
+// metadata servers under the MAMS policy, a coordination ensemble, the
+// shared storage pool and optional data servers.
+func BuildMAMS(env *Env, spec MAMSSpec) *MAMSCluster { return cluster.BuildMAMS(env, spec) }
+
+// BuildHDFS deploys the unreplicated single-NameNode reference system.
+func BuildHDFS(env *Env, spec BaselineSpec) System { return cluster.BuildHDFS(env, spec) }
+
+// BuildBackupNode deploys the HDFS BackupNode primary/backup pair.
+func BuildBackupNode(env *Env, spec BaselineSpec) System { return cluster.BuildBackupNode(env, spec) }
+
+// BuildAvatar deploys the Facebook AvatarNode design (NFS-shared journal).
+func BuildAvatar(env *Env, spec BaselineSpec) System { return cluster.BuildAvatar(env, spec) }
+
+// BuildHadoopHA deploys Hadoop HA with the quorum journal manager.
+func BuildHadoopHA(env *Env, spec BaselineSpec) System { return cluster.BuildHadoopHA(env, spec) }
+
+// BuildBoomFS deploys the Boom-FS Paxos-replicated metadata service.
+func BuildBoomFS(env *Env, spec BaselineSpec) System { return cluster.BuildBoomFS(env, spec) }
+
+// NewDriver attaches n workload clients to a system.
+func NewDriver(env *Env, sys System, n int, onResult func(Result)) *Driver {
+	return workload.NewDriver(env, sys, n, onResult)
+}
+
+// NewJob prepares a MapReduce job against a system.
+func NewJob(env *Env, sys System, cfg JobConfig) *Job { return mapreduce.NewJob(env, sys, cfg) }
+
+// DefaultJob mirrors the paper's 5 GB wordcount configuration.
+func DefaultJob() JobConfig { return mapreduce.DefaultJob() }
+
+// MixedPaper is Figure 6's create/getfileinfo/mkdir workload mix.
+func MixedPaper() Mix { return workload.MixedPaper() }
+
+// CreateMkdir is the §IV.C continuous failover workload.
+func CreateMkdir() Mix { return workload.CreateMkdir() }
