@@ -9,9 +9,21 @@ import (
 
 // benchOpts keeps the macro-benchmarks to a few seconds each while
 // preserving every artifact's shape. Run cmd/mamsbench -full for paper
-// scale.
+// scale. Parallelism 0 fans independent trial cells across GOMAXPROCS
+// workers; results are bit-identical to a sequential run.
 func benchOpts() experiments.Options {
-	return experiments.Options{Seed: 3, Ops: 3000, Trials: 1, Clients: 64, DataServers: 4}
+	return experiments.Options{Seed: 3, Ops: 3000, Trials: 1, Clients: 64, DataServers: 4, Parallelism: 0}
+}
+
+// BenchmarkFigure6Sequential pins the one-worker baseline so the parallel
+// harness speedup (BenchmarkFigure6 vs this) is measurable on any machine.
+func BenchmarkFigure6Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Parallelism = 1
+		res := experiments.Figure6(opts)
+		b.ReportMetric(res.Tput["HDFS"], "hdfs-ops/s")
+	}
 }
 
 // BenchmarkFigure5 regenerates the per-operation throughput matrix (HDFS vs

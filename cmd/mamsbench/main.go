@@ -7,12 +7,16 @@
 //	mamsbench -exp all                 # everything, quick scale
 //	mamsbench -exp table1 -trials 10   # one artifact, more trials
 //	mamsbench -exp figure5 -full       # paper scale (1M ops; slow)
+//	mamsbench -exp all -parallelism 8  # bound the trial worker pool
+//	mamsbench -exp figure6 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mams/internal/experiments"
@@ -20,12 +24,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|all")
-		seed    = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
-		ops     = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
-		trials  = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
-		clients = flag.Int("clients", 0, "closed-loop op concurrency (0 = default 192)")
-		full    = flag.Bool("full", false, "paper-scale settings (1M ops, 10 trials; slow)")
+		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|all")
+		seed        = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
+		ops         = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
+		trials      = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
+		clients     = flag.Int("clients", 0, "closed-loop op concurrency (0 = default 192)")
+		full        = flag.Bool("full", false, "paper-scale settings (1M ops, 10 trials; slow)")
+		parallelism = flag.Int("parallelism", 0, "concurrent experiment trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -34,7 +41,36 @@ func main() {
 		opts = experiments.Full()
 		opts.Seed = *seed
 	}
+	opts.Parallelism = *parallelism
 	opts.Defaults()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	run := func(name string) {
 		switch name {

@@ -30,17 +30,19 @@ func AblationStandbys(opts Options) *Table {
 		Note:   "More standbys cost a few percent of write throughput but keep MTTR flat;\nreliability headroom (failures survivable without renewing) grows linearly.",
 		Header: []string{"standbys", "create ops/s", "MTTR (s)", "tolerable failures"},
 	}
-	seed := opts.Seed*10000 + 4000
-	for backups := 1; backups <= 4; backups++ {
-		backups := backups
+	base := opts.Seed*10000 + 4000
+	rows := make([][]string, 4)
+	forEachCell(opts, len(rows), func(i int) {
+		backups := i + 1
 		sb := systemBuilder{fmt.Sprintf("MAMS-1A%dS", backups), func(env *cluster.Env) cluster.System {
 			return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: backups}).AsSystem()
 		}}
-		seed++
-		tput := measureThroughput(seed, sb, mams.OpCreate, opts)
-		seed++
-		mttr, _, _, _ := mttrTrial(seed, sb, 30*sim.Second, opts)
-		t.AddRow(fmt.Sprint(backups), f1(tput), fs(mttr), fmt.Sprint(backups))
+		tput := measureThroughput(base+2*uint64(i)+1, sb, mams.OpCreate, opts)
+		mttr, _, _, _ := mttrTrial(base+2*uint64(i)+2, sb, 30*sim.Second, opts)
+		rows[i] = []string{fmt.Sprint(backups), f1(tput), fs(mttr), fmt.Sprint(backups)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -56,23 +58,27 @@ func AblationSessionTimeout(opts Options) *Table {
 		Note:   "MTTR ≈ session timeout + ~1.5 s of election/switch/reconnect: detection\ndominates, exactly as Fig. 7 decomposes it.",
 		Header: []string{"session timeout (s)", "heartbeat (s)", "MTTR (s)", "MTTR - timeout (s)"},
 	}
-	seed := opts.Seed*10000 + 4100
-	for _, cfg := range []struct{ session, hb sim.Time }{
+	base := opts.Seed*10000 + 4100
+	cfgs := []struct{ session, hb sim.Time }{
 		{2 * sim.Second, 500 * sim.Millisecond},
 		{3 * sim.Second, sim.Second},
 		{5 * sim.Second, 2 * sim.Second},
 		{10 * sim.Second, 3 * sim.Second},
-	} {
-		cfg := cfg
+	}
+	rows := make([][]string, len(cfgs))
+	forEachCell(opts, len(cfgs), func(i int) {
+		cfg := cfgs[i]
 		sb := systemBuilder{"MAMS", func(env *cluster.Env) cluster.System {
 			return cluster.BuildMAMS(env, cluster.MAMSSpec{
 				Groups: 1, BackupsPerGroup: 3,
 				CoordSessionTimeout: cfg.session, CoordHeartbeat: cfg.hb,
 			}).AsSystem()
 		}}
-		seed++
-		mttr, _, _, _ := mttrTrial(seed, sb, cfg.session+30*sim.Second, opts)
-		t.AddRow(fs(cfg.session), fs(cfg.hb), fs(mttr), fs(mttr-cfg.session))
+		mttr, _, _, _ := mttrTrial(base+uint64(i)+1, sb, cfg.session+30*sim.Second, opts)
+		rows[i] = []string{fs(cfg.session), fs(cfg.hb), fs(mttr), fs(mttr - cfg.session)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -87,17 +93,18 @@ func AblationBatchInterval(opts Options) *Table {
 		Note:   "Wider batches amortize replication overhead but delay commit acknowledgment.",
 		Header: []string{"batch every", "create ops/s", "mean latency (ms)"},
 	}
-	seed := opts.Seed*10000 + 4200
-	for _, every := range []sim.Time{500 * sim.Microsecond, 2 * sim.Millisecond, 8 * sim.Millisecond, 32 * sim.Millisecond} {
-		every := every
-		seed++
-		env := cluster.NewEnv(seed)
+	base := opts.Seed*10000 + 4200
+	intervals := []sim.Time{500 * sim.Microsecond, 2 * sim.Millisecond, 8 * sim.Millisecond, 32 * sim.Millisecond}
+	rows := make([][]string, len(intervals))
+	forEachCell(opts, len(intervals), func(i int) {
+		every := intervals[i]
+		env := cluster.NewEnv(base + uint64(i) + 1)
 		params := mams.DefaultParams()
 		params.BatchEvery = every
 		c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3, Params: params})
 		sys := c.AsSystem()
 		if !sys.AwaitReady(60 * sim.Second) {
-			continue
+			return
 		}
 		col := &metrics.Collector{}
 		drv := workload.NewDriver(env, sys, 16, col.Observe)
@@ -105,8 +112,13 @@ func AblationBatchInterval(opts Options) *Table {
 		start := env.Now()
 		elapsed := drv.RunOps(mams.OpCreate, opts.Ops, opts.Clients)
 		lat := col.MeanLatency(start, env.Now())
-		t.AddRow(every.String(), f1(float64(opts.Ops)/elapsed.Seconds()),
-			fmt.Sprintf("%.2f", lat.Milliseconds()))
+		rows[i] = []string{every.String(), f1(float64(opts.Ops) / elapsed.Seconds()),
+			fmt.Sprintf("%.2f", lat.Milliseconds())}
+	})
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
+		}
 	}
 	return t
 }
@@ -126,17 +138,18 @@ func AblationSyncSSP(opts Options) *Table {
 			"acknowledged-data loss even when every group member is wiped at once.",
 		Header: []string{"SSP mode", "create ops/s", "mean latency (ms)", "acked ops lost on group wipe"},
 	}
-	seed := opts.Seed*10000 + 4300
-	for _, sync := range []bool{false, true} {
-		sync := sync
-		seed++
-		env := cluster.NewEnv(seed)
+	base := opts.Seed*10000 + 4300
+	modes := []bool{false, true}
+	rows := make([][]string, len(modes))
+	forEachCell(opts, len(modes), func(i int) {
+		sync := modes[i]
+		env := cluster.NewEnv(base + uint64(i) + 1)
 		params := mams.DefaultParams()
 		params.SyncSSP = sync
 		c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3, Params: params})
 		sys := c.AsSystem()
 		if !sys.AwaitReady(60 * sim.Second) {
-			continue
+			return
 		}
 		col := &metrics.Collector{}
 		drv := workload.NewDriver(env, sys, 8, col.Observe)
@@ -178,7 +191,12 @@ func AblationSyncSSP(opts Options) *Table {
 		if sync {
 			mode = "sync (extension)"
 		}
-		t.AddRow(mode, f1(tput), fmt.Sprintf("%.3f", lat.Milliseconds()), fmt.Sprint(lost))
+		rows[i] = []string{mode, f1(tput), fmt.Sprintf("%.3f", lat.Milliseconds()), fmt.Sprint(lost)}
+	})
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
+		}
 	}
 	return t
 }
@@ -196,15 +214,16 @@ func AblationPartitioning(opts Options) *Table {
 			"partitioning pins them to a single group — locality at the cost of balance.",
 		Header: []string{"strategy", "create ops/s", "files per group", "max/min imbalance"},
 	}
-	seed := opts.Seed*10000 + 4400
-	for _, strat := range []partition.Strategy{partition.ByPath, partition.BySubtree} {
-		strat := strat
-		seed++
-		env := cluster.NewEnv(seed)
+	base := opts.Seed*10000 + 4400
+	strats := []partition.Strategy{partition.ByPath, partition.BySubtree}
+	rows := make([][]string, len(strats))
+	forEachCell(opts, len(strats), func(i int) {
+		strat := strats[i]
+		env := cluster.NewEnv(base + uint64(i) + 1)
 		c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 3, BackupsPerGroup: 1, Partition: strat})
 		sys := c.AsSystem()
 		if !sys.AwaitReady(60 * sim.Second) {
-			continue
+			return
 		}
 		drv := workload.NewDriver(env, sys, 16, nil)
 		drv.Setup(1) // exactly one working directory: the hot spot
@@ -228,8 +247,13 @@ func AblationPartitioning(opts Options) *Table {
 		if strat == partition.BySubtree {
 			name = "subtree (extension)"
 		}
-		t.AddRow(name, f1(float64(opts.Ops)/elapsed.Seconds()),
-			fmt.Sprint(counts), imbalance)
+		rows[i] = []string{name, f1(float64(opts.Ops) / elapsed.Seconds()),
+			fmt.Sprint(counts), imbalance}
+	})
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
+		}
 	}
 	return t
 }

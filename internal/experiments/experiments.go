@@ -29,6 +29,12 @@ type Options struct {
 	Clients int
 	// DataServers in each deployment.
 	DataServers int
+	// Parallelism bounds how many independent (config, trial, seed) cells
+	// run concurrently, one simulated World per goroutine. 0 means
+	// GOMAXPROCS; 1 forces the classic sequential run. Results are
+	// bit-identical at every setting: cells are seeded by index, not by
+	// completion order.
+	Parallelism int
 }
 
 // Defaults fills unset fields with fast-but-representative values.

@@ -47,13 +47,19 @@ func Figure5(opts Options) Figure5Result {
 		t.Header = append(t.Header, b.name)
 		res.Systems = append(res.Systems, b.name)
 	}
-	seed := opts.Seed * 1000
-	for _, op := range ops {
+	// One cell per (operation, system); seeds follow the row-major cell
+	// index, matching the classic sequential seed++ order.
+	base := opts.Seed * 1000
+	nb := len(builders)
+	tputs := make([]float64, len(ops)*nb)
+	forEachCell(opts, len(tputs), func(k int) {
+		tputs[k] = measureThroughput(base+uint64(k)+1, builders[k%nb], ops[k/nb], opts)
+	})
+	for i, op := range ops {
 		res.Tput[op] = map[string]float64{}
 		row := []string{op.String()}
-		for _, b := range builders {
-			seed++
-			tput := measureThroughput(seed, b, op, opts)
+		for j, b := range builders {
+			tput := tputs[i*nb+j]
 			res.Tput[op][b.name] = tput
 			row = append(row, f1(tput))
 		}

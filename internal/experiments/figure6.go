@@ -45,11 +45,14 @@ func Figure6(opts Options) Figure6Result {
 		Header: []string{"system", "ops/s", "relative to HDFS"},
 	}
 	mix := workload.MixedPaper()
-	seed := opts.Seed*1000 + 500
+	base := opts.Seed*1000 + 500
+	tputs := make([]float64, len(builders))
+	forEachCell(opts, len(builders), func(i int) {
+		tputs[i] = measureMixThroughput(base+uint64(i)+1, builders[i], mix, opts)
+	})
 	var hdfs float64
-	for _, b := range builders {
-		seed++
-		tput := measureMixThroughput(seed, b, mix, opts)
+	for i, b := range builders {
+		tput := tputs[i]
 		res.Tput[b.name] = tput
 		res.Order = append(res.Order, b.name)
 		if b.name == "HDFS" {

@@ -41,12 +41,15 @@ func Figure7(opts Options) Figure7Result {
 	sb := systemBuilder{"MAMS-1A3S", func(env *cluster.Env) cluster.System {
 		return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3}).AsSystem()
 	}}
-	seed := opts.Seed*10000 + 700
-	for trial := 0; trial < opts.Trials; trial++ {
-		seed++
-		mttr, env, faultAt, col := mttrTrial(seed, sb, 30*sim.Second, opts)
+	// One cell per trial; stage mining happens inside the cell so workers
+	// retire the trace and collector before handing back a compact result.
+	base := opts.Seed*10000 + 700
+	trials := make([]Figure7Trial, opts.Trials)
+	ok := make([]bool, opts.Trials)
+	forEachCell(opts, opts.Trials, func(trial int) {
+		mttr, env, faultAt, col := mttrTrial(base+uint64(trial)+1, sb, 30*sim.Second, opts)
 		if mttr == 0 || col == nil {
-			continue
+			return
 		}
 		tr := stagesFromTrace(env.Trace, faultAt)
 		// First client success after the switch completes.
@@ -60,7 +63,7 @@ func Figure7(opts Options) Figure7Result {
 			}
 		}
 		if tr.electionStart == 0 || tr.electionWon == 0 || tr.switchDone == 0 || tr.firstSuccess == 0 {
-			continue
+			return
 		}
 		ft := Figure7Trial{
 			Detection:    tr.electionStart - faultAt,
@@ -69,6 +72,13 @@ func Figure7(opts Options) Figure7Result {
 			Reconnection: tr.firstSuccess - tr.switchDone,
 		}
 		ft.Total = ft.Election + ft.Switching + ft.Reconnection
+		trials[trial], ok[trial] = ft, true
+	})
+	for trial := 0; trial < opts.Trials; trial++ {
+		if !ok[trial] {
+			continue
+		}
+		ft := trials[trial]
 		res.Trials = append(res.Trials, ft)
 		tot := ft.Total.Milliseconds()
 		t.AddRow(fmt.Sprint(trial+1),

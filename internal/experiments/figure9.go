@@ -94,18 +94,30 @@ func Figure9(opts Options) Figure9Result {
 			"waiting for recovered maps to write intermediate results.",
 		Header: []string{"system", "normal runtime (s)", "failure runtime (s)", "slowdown"},
 	}
-	seed := opts.Seed*10000 + 900
+	// One cell per system. The failure run's fault time depends on the
+	// normal run, so the two stay sequential inside a cell; the systems
+	// themselves are independent. Seeds keep the classic interleaved
+	// normal/failure seed++ order.
+	base := opts.Seed*10000 + 900
+	type fig9Cell struct {
+		normal, failure sim.Time
+		failRes         mapreduce.Result
+		ok              bool
+	}
+	cells := make([]fig9Cell, len(builders))
+	forEachCell(opts, len(builders), func(i int) {
+		normal, _, okN := runOne(base+2*uint64(i)+1, builders[i], 0)
+		// Fail one active a third of the way into the (failure-free)
+		// runtime — squarely inside the map phase.
+		failure, failRes, okF := runOne(base+2*uint64(i)+2, builders[i], normal/3)
+		cells[i] = fig9Cell{normal: normal, failure: failure, failRes: failRes, ok: okN && okF}
+	})
 	horizon := sim.Time(0)
 	var mapDone, redDone map[string]sim.Time
 	mapDone, redDone = map[string]sim.Time{}, map[string]sim.Time{}
-	for _, b := range builders {
-		seed++
-		normal, _, okN := runOne(seed, b, 0)
-		seed++
-		// Fail one active a third of the way into the (failure-free)
-		// runtime — squarely inside the map phase.
-		failure, failRes, okF := runOne(seed, b, normal/3)
-		if !okN || !okF {
+	for i, b := range builders {
+		normal, failure, failRes := cells[i].normal, cells[i].failure, cells[i].failRes
+		if !cells[i].ok {
 			continue
 		}
 		res.Normal[b.name] = normal

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCellCoversEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 8, 100} {
+		o := Options{Parallelism: par}
+		const n = 257
+		var hits [n]atomic.Int32
+		forEachCell(o, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: cell %d ran %d times", par, i, got)
+			}
+		}
+	}
+	forEachCell(Options{}, 0, func(int) { t.Fatal("zero cells must not run") })
+}
+
+func TestForEachCellBoundsWorkers(t *testing.T) {
+	o := Options{Parallelism: 3}
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	forEachCell(o, 64, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent cells, bound 3", p)
+	}
+}
+
+func TestForEachCellPropagatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	forEachCell(Options{Parallelism: 4}, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+// TestFigure6ParallelDeterminism is the standing guard for the parallel
+// harness: the same seed must produce byte-identical results whether cells
+// run on one goroutine or eight. Every experiment funnels through the same
+// seed-by-cell-index runner, so Figure 6 stands in for all of them.
+func TestFigure6ParallelDeterminism(t *testing.T) {
+	seqOpts := quick()
+	seqOpts.Parallelism = 1
+	parOpts := quick()
+	parOpts.Parallelism = 8
+
+	seq := Figure6(seqOpts)
+	par := Figure6(parOpts)
+
+	if !reflect.DeepEqual(seq.Tput, par.Tput) {
+		t.Errorf("throughput maps diverge:\nseq: %v\npar: %v", seq.Tput, par.Tput)
+	}
+	if !reflect.DeepEqual(seq.Order, par.Order) {
+		t.Errorf("system order diverges: %v vs %v", seq.Order, par.Order)
+	}
+	if s, p := seq.Table.String(), par.Table.String(); s != p {
+		t.Errorf("rendered tables diverge:\n--- sequential ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiments are embarrassingly parallel: every (config, trial, seed)
+// cell builds its own cluster.Env — and therefore its own sim.World, RNG and
+// trace — so cells share no mutable state and can run on any goroutine.
+// Results are written into caller-indexed slots, which makes the collected
+// output bit-identical to a sequential run regardless of scheduling. Seeds
+// are precomputed per cell from the cell index, reproducing the exact seed
+// sequence the old sequential loops generated with seed++.
+
+// workers resolves the effective worker count for n cells: Parallelism when
+// positive, else GOMAXPROCS, clamped to [1, n].
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// forEachCell runs fn(i) for every i in [0, n) across a bounded worker pool.
+// Workers pull indices from a shared cursor, so cells start in index order
+// (good for cache-friendly, front-loaded work) but may finish in any order;
+// fn must only write to its own index's slots. With one worker (or one cell)
+// it degenerates to a plain loop on the calling goroutine. A panic in any
+// cell is re-raised on the caller with the worker's stack attached.
+func forEachCell(o Options, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := o.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor  atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = fmt.Sprintf("experiments: worker panic: %v\n%s", r, debug.Stack())
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"mams/internal/cluster"
 	"mams/internal/metrics"
@@ -88,7 +89,13 @@ type ScenarioResult struct {
 // scenarioMemo caches scenario runs within a process: Table II and
 // Figure 8 mine different aspects of the same three deterministic runs, so
 // re-simulating them would only burn time. Keyed by (kind, seed, clients).
-var scenarioMemo = map[string]ScenarioResult{}
+// The mutex covers concurrent cells from the parallel runner; two workers
+// racing on the same key would compute the same deterministic value, so
+// last-store-wins is exact.
+var (
+	scenarioMu   sync.Mutex
+	scenarioMemo = map[string]ScenarioResult{}
+)
 
 // RunScenario executes one §IV.C test: 1A3S group, continuous create+mkdir
 // load for 240 s with faults injected per the schedule. Results are
@@ -97,12 +104,31 @@ var scenarioMemo = map[string]ScenarioResult{}
 func RunScenario(kind TestKind, opts Options) ScenarioResult {
 	opts.Defaults()
 	memoKey := fmt.Sprintf("%s/%d/%d", kind, opts.Seed, opts.Clients)
-	if res, ok := scenarioMemo[memoKey]; ok {
+	scenarioMu.Lock()
+	res, ok := scenarioMemo[memoKey]
+	scenarioMu.Unlock()
+	if ok {
 		return res
 	}
-	res := runScenarioFresh(kind, opts)
+	res = runScenarioFresh(kind, opts)
+	scenarioMu.Lock()
 	scenarioMemo[memoKey] = res
+	scenarioMu.Unlock()
 	return res
+}
+
+// runScenarios fans the fault scenarios out across the worker pool; each
+// cell owns a full 240 s simulated run.
+func runScenarios(kinds []TestKind, opts Options) map[TestKind]ScenarioResult {
+	results := make([]ScenarioResult, len(kinds))
+	forEachCell(opts, len(kinds), func(i int) {
+		results[i] = RunScenario(kinds[i], opts)
+	})
+	out := make(map[TestKind]ScenarioResult, len(kinds))
+	for i, k := range kinds {
+		out[k] = results[i]
+	}
+	return out
 }
 
 func runScenarioFresh(kind TestKind, opts Options) ScenarioResult {
@@ -173,10 +199,9 @@ func TableII(opts Options) TableIIResult {
 			"renew after replug; restarted processes rejoin as juniors and renew to standby.",
 		Header: []string{"state", "Test A (lose lock)", "Test B (unplug wires)", "Test C (restart procs)"},
 	}
+	res.Scenarios = runScenarios([]TestKind{TestA, TestB, TestC}, opts)
 	maxRows := 0
-	for _, k := range []TestKind{TestA, TestB, TestC} {
-		sc := RunScenario(k, opts)
-		res.Scenarios[k] = sc
+	for _, sc := range res.Scenarios {
 		if len(sc.States) > maxRows {
 			maxRows = len(sc.States)
 		}
@@ -214,9 +239,7 @@ func Figure8(opts Options) Figure8Result {
 			"fault, briefly overshoots on client retries, then returns to the pre-fault level.",
 		Header: []string{"t (s)", "Test A", "Test B", "Test C"},
 	}
-	for _, k := range []TestKind{TestA, TestB, TestC} {
-		res.Scenarios[k] = RunScenario(k, opts)
-	}
+	res.Scenarios = runScenarios([]TestKind{TestA, TestB, TestC}, opts)
 	// Render 5-second aggregates for compactness.
 	for t5 := 0; t5 < 48; t5++ {
 		row := []string{fmt.Sprint(t5 * 5)}

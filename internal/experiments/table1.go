@@ -83,19 +83,27 @@ func TableI(opts Options, sizes []int64) TableIResult {
 		res.Cols = append(res.Cols, b.name)
 	}
 
-	seed := opts.Seed*10000 + 31
-	for _, size := range sizes {
+	// One cell per (size, system, trial); the cell index reproduces the
+	// classic size-outer/trial-inner seed++ sequence.
+	base := opts.Seed*10000 + 31
+	nb := len(builds)
+	trialMTTR := make([]sim.Time, len(sizes)*nb*opts.Trials)
+	forEachCell(opts, len(trialMTTR), func(k int) {
+		si := k / (nb * opts.Trials)
+		bi := k / opts.Trials % nb
+		size, b := sizes[si], builds[bi]
+		sb := systemBuilder{b.name, func(env *cluster.Env) cluster.System {
+			return b.mk(env, size<<20)
+		}}
+		trialMTTR[k], _, _, _ = mttrTrial(base+uint64(k)+1, sb, b.horizon, opts)
+	})
+	for si, size := range sizes {
 		res.MTTR[size] = map[string]float64{}
 		row := []string{fmt.Sprint(size)}
-		for _, b := range builds {
+		for bi, b := range builds {
 			var samples []float64
 			for trial := 0; trial < opts.Trials; trial++ {
-				seed++
-				sb := systemBuilder{b.name, func(env *cluster.Env) cluster.System {
-					return b.mk(env, size<<20)
-				}}
-				mttr, _, _, _ := mttrTrial(seed, sb, b.horizon, opts)
-				if mttr > 0 {
+				if mttr := trialMTTR[(si*nb+bi)*opts.Trials+trial]; mttr > 0 {
 					samples = append(samples, mttr.Seconds())
 				}
 			}

@@ -1,0 +1,114 @@
+package namespace
+
+import (
+	"fmt"
+	"testing"
+
+	"mams/internal/journal"
+)
+
+// The namespace is the metadata hot path: every simulated op resolves at
+// least one path, and the active resolves on validate AND apply. These
+// budgets lock in the cursor-based walkers — path resolution must not
+// allocate at all, and mutation must allocate only the inode itself.
+
+func TestLookupAllocFree(t *testing.T) {
+	tr := benchTree(t, 10000)
+	paths := make([]string, 64)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/d%02d/f%07d", i%16, i%10000)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		for _, p := range paths {
+			if !tr.Exists(p) {
+				t.Fatal("missing path")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Exists allocates %.2f objects per 64 lookups, want 0", avg)
+	}
+}
+
+func TestStatDirAllocFree(t *testing.T) {
+	tr := benchTree(t, 100)
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, err := tr.Stat("/d03"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Stat(dir) allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestCreateAllocBudget(t *testing.T) {
+	tr := benchTree(t, 0)
+	paths := make([]string, 1<<16)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/d%02d/a%07d", i%16, i)
+	}
+	next := 0
+	// AllocsPerRun invokes the function runs+1 times (one warmup pass).
+	avg := testing.AllocsPerRun(len(paths)-1, func() {
+		p := paths[next]
+		next++
+		if err := tr.Create(p, 1024, 0o644, 1, int64(next)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One inode, one block slice, amortized map growth. The old
+	// splitPath-based resolver added a []string per op on top.
+	if avg > 4 {
+		t.Fatalf("Create allocates %.2f objects/op, budget 4", avg)
+	}
+}
+
+func TestValidateCreateAllocFree(t *testing.T) {
+	tr := benchTree(t, 1000)
+	rec := journal.Record{Op: journal.OpCreate, Path: "/d00/not-there", Perm: 0o644}
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := tr.Validate(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Validate(create) allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestParentCacheInvalidation(t *testing.T) {
+	// The last-parent cache must never resurrect a detached directory.
+	tr := New()
+	if err := tr.Mkdir("/a", 0o755, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Create("/a/f1", 1, 0o644, 1, 1); err != nil {
+		t.Fatal(err) // caches /a
+	}
+	if err := tr.Delete("/a/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Create("/a/f2", 1, 0o644, 2, 2); err != ErrNotFound {
+		t.Fatalf("create under deleted dir = %v, want ErrNotFound", err)
+	}
+	// Same story across a rename.
+	if err := tr.Mkdir("/b", 0o755, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Create("/b/f1", 1, 0o644, 3, 3); err != nil {
+		t.Fatal(err) // caches /b
+	}
+	if err := tr.Rename("/b", "/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Create("/b/f2", 1, 0o644, 4, 4); err != ErrNotFound {
+		t.Fatalf("create under renamed-away dir = %v, want ErrNotFound", err)
+	}
+	if !tr.Exists("/c/f1") {
+		t.Fatal("renamed subtree lost its child")
+	}
+}

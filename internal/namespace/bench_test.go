@@ -7,7 +7,7 @@ import (
 	"mams/internal/journal"
 )
 
-func benchTree(b *testing.B, files int) *Tree {
+func benchTree(b testing.TB, files int) *Tree {
 	b.Helper()
 	tr := New()
 	for d := 0; d < 16; d++ {

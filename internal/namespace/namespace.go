@@ -61,6 +61,14 @@ type Tree struct {
 	dirs      int // excluding root
 	nameBytes int64
 	blocks    int64
+
+	// Last-resolved-parent cache: metadata workloads overwhelmingly create
+	// many entries in one directory, so the previous op's parent usually
+	// resolves the next op too. lastParentKey is the path prefix up to and
+	// including the final separator ("/a/b/" for "/a/b/c"); any operation
+	// that detaches inodes invalidates the cache.
+	lastParentKey string
+	lastParent    *inode
 }
 
 // New returns a tree containing only the root directory.
@@ -77,7 +85,9 @@ func (t *Tree) Dirs() int { return t.dirs }
 // Blocks returns the total number of file blocks in the namespace.
 func (t *Tree) Blocks() int64 { return t.blocks }
 
-// splitPath normalizes and splits an absolute path. "/" yields nil.
+// splitPath normalizes and splits an absolute path. "/" yields nil. The hot
+// paths use the allocation-free cursor walkers below; splitPath remains for
+// Rename's component-wise subtree checks.
 func splitPath(p string) ([]string, error) {
 	if p == "" || p[0] != '/' {
 		return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
@@ -96,35 +106,141 @@ func splitPath(p string) ([]string, error) {
 	return parts, nil
 }
 
-// lookup walks to the inode at parts, or returns nil.
-func (t *Tree) lookup(parts []string) *inode {
-	cur := t.root
-	for _, c := range parts {
-		if !cur.dir {
-			return nil
+// nextSeg finds the bounds of the next path segment of p at or after byte i,
+// skipping separators. lo < 0 means no segments remain. Segments are
+// returned as (lo, hi) index pairs so callers slice p without allocating.
+func nextSeg(p string, i int) (lo, hi int) {
+	for i < len(p) && p[i] == '/' {
+		i++
+	}
+	if i >= len(p) {
+		return -1, -1
+	}
+	j := i
+	for j < len(p) && p[j] != '/' {
+		j++
+	}
+	return i, j
+}
+
+// isRoot reports whether a syntactically valid path normalizes to "/".
+func isRoot(p string) bool {
+	if p == "" || p[0] != '/' {
+		return false
+	}
+	for i := 1; ; {
+		lo, hi := nextSeg(p, i)
+		if lo < 0 {
+			return true
 		}
-		next, ok := cur.children[c]
-		if !ok {
-			return nil
+		if p[lo:hi] != "." {
+			return false
+		}
+		i = hi
+	}
+}
+
+// walkPath resolves path to an inode without allocating. ok=false means the
+// path is malformed (relative, empty, or containing ".."); a nil inode with
+// ok=true means a well-formed path that does not resolve.
+func (t *Tree) walkPath(p string) (n *inode, ok bool) {
+	if p == "" || p[0] != '/' {
+		return nil, false
+	}
+	cur := t.root
+	for i := 1; ; {
+		lo, hi := nextSeg(p, i)
+		if lo < 0 {
+			return cur, true
+		}
+		i = hi
+		seg := p[lo:hi]
+		if seg == "." {
+			continue
+		}
+		if seg == ".." {
+			return nil, false
+		}
+		if !cur.dir {
+			return nil, true
+		}
+		next, found := cur.children[seg]
+		if !found {
+			return nil, true
 		}
 		cur = next
 	}
-	return cur
 }
 
-// parentOf resolves the parent directory of parts; parts must be non-empty.
-func (t *Tree) parentOf(parts []string) (*inode, string, error) {
-	if len(parts) == 0 {
-		return nil, "", ErrBadPath
+// walkParent resolves the parent directory of p and the leaf name,
+// allocation-free on the hit path. Error semantics mirror the classic
+// splitPath+parentOf pipeline: ErrBadPath for malformed paths and the root,
+// ErrNotFound when a prefix component is missing or a file blocks descent,
+// ErrNotDir when the direct parent is a file. Consecutive operations against
+// one directory hit the last-parent cache and skip the descent entirely.
+func (t *Tree) walkParent(p string) (*inode, string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, "", fmt.Errorf("%w: %q", ErrBadPath, p)
 	}
-	dir := t.lookup(parts[:len(parts)-1])
-	if dir == nil {
-		return nil, "", ErrNotFound
+	// First pass: validate every segment and locate the last real one.
+	lastLo, lastHi := -1, -1
+	for i := 1; ; {
+		lo, hi := nextSeg(p, i)
+		if lo < 0 {
+			break
+		}
+		i = hi
+		seg := p[lo:hi]
+		if seg == "." {
+			continue
+		}
+		if seg == ".." {
+			return nil, "", fmt.Errorf("%w: %q", ErrBadPath, p)
+		}
+		lastLo, lastHi = lo, hi
 	}
-	if !dir.dir {
+	if lastLo < 0 {
+		return nil, "", ErrBadPath // p is the root
+	}
+	name := p[lastLo:lastHi]
+	prefix := p[:lastLo]
+	if t.lastParent != nil && prefix == t.lastParentKey {
+		return t.lastParent, name, nil
+	}
+	cur := t.root
+	for i := 1; i < lastLo; {
+		lo, hi := nextSeg(p, i)
+		if lo < 0 || lo >= lastLo {
+			break
+		}
+		i = hi
+		seg := p[lo:hi]
+		if seg == "." {
+			continue
+		}
+		if !cur.dir {
+			return nil, "", ErrNotFound
+		}
+		next, found := cur.children[seg]
+		if !found {
+			return nil, "", ErrNotFound
+		}
+		cur = next
+	}
+	if !cur.dir {
 		return nil, "", ErrNotDir
 	}
-	return dir, parts[len(parts)-1], nil
+	t.lastParentKey = prefix
+	t.lastParent = cur
+	return cur, name, nil
+}
+
+// invalidateParentCache drops the last-parent cache; required whenever an
+// inode is detached from the tree (the cached pointer could otherwise
+// resurrect it).
+func (t *Tree) invalidateParentCache() {
+	t.lastParent = nil
+	t.lastParentKey = ""
 }
 
 // blocksFor derives the deterministic block list for a file created by
@@ -145,11 +261,7 @@ func blocksFor(txid uint64, size int64) []uint64 {
 // Create adds a regular file. The txid feeds deterministic block-id
 // assignment (use 0 for ad-hoc trees in tests).
 func (t *Tree) Create(path string, size int64, perm uint16, mtime, txid int64) error {
-	parts, err := splitPath(path)
-	if err != nil {
-		return err
-	}
-	dir, name, err := t.parentOf(parts)
+	dir, name, err := t.walkParent(path)
 	if err != nil {
 		return err
 	}
@@ -167,15 +279,11 @@ func (t *Tree) Create(path string, size int64, perm uint16, mtime, txid int64) e
 
 // Mkdir adds a directory. The parent must already exist.
 func (t *Tree) Mkdir(path string, perm uint16, mtime int64) error {
-	parts, err := splitPath(path)
+	dir, name, err := t.walkParent(path)
 	if err != nil {
-		return err
-	}
-	if len(parts) == 0 {
-		return ErrExists // "/"
-	}
-	dir, name, err := t.parentOf(parts)
-	if err != nil {
+		if err == ErrBadPath && isRoot(path) {
+			return ErrExists // "/"
+		}
 		return err
 	}
 	if _, exists := dir.children[name]; exists {
@@ -210,16 +318,9 @@ func (t *Tree) MkdirAll(path string, perm uint16, mtime int64) error {
 
 // Delete removes a file or an empty directory.
 func (t *Tree) Delete(path string) error {
-	parts, err := splitPath(path)
+	dir, name, err := t.walkParent(path)
 	if err != nil {
-		return err
-	}
-	if len(parts) == 0 {
-		return ErrBadPath // cannot delete root
-	}
-	dir, name, err := t.parentOf(parts)
-	if err != nil {
-		return err
+		return err // ErrBadPath covers both malformed paths and the root
 	}
 	node, ok := dir.children[name]
 	if !ok {
@@ -230,19 +331,13 @@ func (t *Tree) Delete(path string) error {
 	}
 	delete(dir.children, name)
 	t.uncount(node)
+	t.invalidateParentCache()
 	return nil
 }
 
 // DeleteRecursive removes a file or a directory subtree.
 func (t *Tree) DeleteRecursive(path string) error {
-	parts, err := splitPath(path)
-	if err != nil {
-		return err
-	}
-	if len(parts) == 0 {
-		return ErrBadPath
-	}
-	dir, name, err := t.parentOf(parts)
+	dir, name, err := t.walkParent(path)
 	if err != nil {
 		return err
 	}
@@ -251,6 +346,7 @@ func (t *Tree) DeleteRecursive(path string) error {
 		return ErrNotFound
 	}
 	delete(dir.children, name)
+	t.invalidateParentCache()
 	var drop func(n *inode)
 	drop = func(n *inode) {
 		for _, c := range n.children {
@@ -298,7 +394,7 @@ func (t *Tree) Rename(src, dst string) error {
 			return ErrSubtree
 		}
 	}
-	sdir, sname, err := t.parentOf(sp)
+	sdir, sname, err := t.walkParent(src)
 	if err != nil {
 		return err
 	}
@@ -306,7 +402,7 @@ func (t *Tree) Rename(src, dst string) error {
 	if !ok {
 		return ErrNotFound
 	}
-	ddir, dname, err := t.parentOf(dp)
+	ddir, dname, err := t.walkParent(dst)
 	if err != nil {
 		return err
 	}
@@ -314,6 +410,7 @@ func (t *Tree) Rename(src, dst string) error {
 		return ErrExists
 	}
 	delete(sdir.children, sname)
+	t.invalidateParentCache()
 	t.nameBytes += int64(len(dname) - len(sname))
 	node.name = dname
 	ddir.children[dname] = node
@@ -322,11 +419,10 @@ func (t *Tree) Rename(src, dst string) error {
 
 // Stat returns metadata for path.
 func (t *Tree) Stat(path string) (Info, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return Info{}, err
+	node, ok := t.walkPath(path)
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrBadPath, path)
 	}
-	node := t.lookup(parts)
 	if node == nil {
 		return Info{}, ErrNotFound
 	}
@@ -338,20 +434,16 @@ func (t *Tree) Stat(path string) (Info, error) {
 
 // Exists reports whether path resolves.
 func (t *Tree) Exists(path string) bool {
-	parts, err := splitPath(path)
-	if err != nil {
-		return false
-	}
-	return t.lookup(parts) != nil
+	node, ok := t.walkPath(path)
+	return ok && node != nil
 }
 
 // List returns the sorted children of a directory.
 func (t *Tree) List(path string) ([]Info, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return nil, err
+	node, ok := t.walkPath(path)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
 	}
-	node := t.lookup(parts)
 	if node == nil {
 		return nil, ErrNotFound
 	}
@@ -386,15 +478,11 @@ func (t *Tree) Validate(rec journal.Record) error {
 	case journal.OpNoop:
 		return nil
 	case journal.OpCreate, journal.OpMkdir:
-		parts, err := splitPath(rec.Path)
+		dir, name, err := t.walkParent(rec.Path)
 		if err != nil {
-			return err
-		}
-		if len(parts) == 0 {
-			return ErrExists
-		}
-		dir, name, err := t.parentOf(parts)
-		if err != nil {
+			if err == ErrBadPath && isRoot(rec.Path) {
+				return ErrExists
+			}
 			return err
 		}
 		if _, exists := dir.children[name]; exists {
@@ -402,14 +490,7 @@ func (t *Tree) Validate(rec journal.Record) error {
 		}
 		return nil
 	case journal.OpDelete:
-		parts, err := splitPath(rec.Path)
-		if err != nil {
-			return err
-		}
-		if len(parts) == 0 {
-			return ErrBadPath
-		}
-		dir, name, err := t.parentOf(parts)
+		dir, name, err := t.walkParent(rec.Path)
 		if err != nil {
 			return err
 		}
@@ -428,14 +509,14 @@ func (t *Tree) Validate(rec journal.Record) error {
 		if t.Exists(rec.Dest) {
 			return ErrExists
 		}
-		dp, err := splitPath(rec.Dest)
-		if err != nil {
+		if _, _, err := t.walkParent(rec.Dest); err != nil {
+			if err == ErrBadPath && isRoot(rec.Dest) {
+				return ErrExists
+			}
 			return err
 		}
-		if len(dp) == 0 {
-			return ErrExists
-		}
-		if _, _, err := t.parentOf(dp); err != nil {
+		dp, err := splitPath(rec.Dest)
+		if err != nil {
 			return err
 		}
 		sp, _ := splitPath(rec.Path)

@@ -7,6 +7,21 @@
 //
 // The virtual clock is entirely decoupled from wall time: simulating the
 // paper's 240-second failover experiments takes milliseconds of real time.
+//
+// The kernel is a hot path: every simulated RPC arms (and usually cancels) a
+// timeout timer, so the experiment harness dispatches tens of millions of
+// events per run. Three mechanisms keep that cheap:
+//
+//   - fired and compacted events return to a per-World free list, so
+//     steady-state scheduling does not allocate;
+//   - cancelled events are removed lazily, but the heap is compacted once
+//     more than half of it is dead, so Timer.Stop cannot leak memory;
+//   - Rearm reschedules through an existing Timer handle without allocating,
+//     the analogue of time.Timer.Reset for heartbeat/timeout loops.
+//
+// A World is confined to one goroutine. Independent Worlds (one per
+// experiment trial) may run on different goroutines concurrently; they share
+// no state.
 package sim
 
 import (
@@ -45,33 +60,53 @@ func FromDuration(d time.Duration) Time { return Time(d) }
 
 // An event is a scheduled callback. Events fire in (at, seq) order; seq is a
 // monotonically increasing tiebreaker that makes scheduling deterministic.
+// Recycled events bump gen so stale Timer handles cannot observe the next
+// occupant of the struct.
 type event struct {
 	at    Time
 	seq   uint64
+	gen   uint64
 	name  string
 	fn    func()
+	w     *World
 	index int  // heap index, -1 once popped
 	dead  bool // cancelled
 }
 
 // Timer is a handle to a scheduled event; it may be cancelled before firing.
+// The generation snapshot detaches the handle once the event struct is
+// recycled for a later schedule.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original, uncancelled,
+// unfired schedule.
+func (t *Timer) live() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending.
+// The event stays in the heap until it surfaces or a compaction pass
+// reclaims it; either way it no longer counts toward World.Pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if !t.live() {
 		return false
 	}
-	pending := t.ev.index >= 0
-	t.ev.dead = true
+	ev := t.ev
+	pending := ev.index >= 0
+	ev.dead = true
+	ev.fn = nil // release the closure now; the struct may linger in the heap
+	if pending {
+		ev.w.dead++
+	}
 	return pending
 }
 
 // Pending reports whether the timer has neither fired nor been stopped.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.index >= 0
+	return t.live() && t.ev.index >= 0
 }
 
 type eventHeap []*event
@@ -103,11 +138,18 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// compactThreshold is the minimum heap size before lazy-deleted events
+// trigger a compaction pass; below it the dead entries are cheaper to carry
+// until they surface naturally.
+const compactThreshold = 64
+
 // World owns the virtual clock and the pending-event queue.
 type World struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	dead    int // cancelled events still occupying the heap
+	free    []*event
 	steps   uint64
 	maxStep uint64 // safety valve against runaway simulations; 0 = unlimited
 	running bool
@@ -128,8 +170,65 @@ func (w *World) Now() Time { return w.now }
 // Steps returns the number of events dispatched so far.
 func (w *World) Steps() uint64 { return w.steps }
 
-// Pending returns the number of events currently scheduled.
-func (w *World) Pending() int { return len(w.events) }
+// Pending returns the number of live events currently scheduled; events
+// cancelled via Timer.Stop are excluded even while they still occupy heap
+// slots awaiting compaction.
+func (w *World) Pending() int { return len(w.events) - w.dead }
+
+// alloc takes an event from the free list (or the allocator) and fills it.
+func (w *World) alloc(t Time, name string, fn func()) *event {
+	var ev *event
+	if n := len(w.free); n > 0 {
+		ev = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+	} else {
+		ev = &event{w: w}
+	}
+	w.seq++
+	ev.at = t
+	ev.seq = w.seq
+	ev.name = name
+	ev.fn = fn
+	ev.dead = false
+	return ev
+}
+
+// recycle invalidates any outstanding Timer handles on ev and returns it to
+// the free list. ev must already be out of the heap.
+func (w *World) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	w.free = append(w.free, ev)
+}
+
+// maybeCompact rebuilds the heap without its dead entries once they out-
+// number the live ones, returning the structs to the free list. Rebuilding
+// preserves dispatch order exactly: (at, seq) is a total order.
+func (w *World) maybeCompact() {
+	if w.dead < compactThreshold || 2*w.dead <= len(w.events) {
+		return
+	}
+	live := w.events[:0]
+	for _, ev := range w.events {
+		if ev.dead {
+			ev.index = -1
+			w.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(w.events); i++ {
+		w.events[i] = nil
+	}
+	w.events = live
+	for i, ev := range w.events {
+		ev.index = i
+	}
+	heap.Init(&w.events)
+	w.dead = 0
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it would silently reorder causality.
@@ -140,10 +239,10 @@ func (w *World) At(t Time, name string, fn func()) *Timer {
 	if t < w.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, w.now))
 	}
-	w.seq++
-	ev := &event{at: t, seq: w.seq, name: name, fn: fn}
+	w.maybeCompact()
+	ev := w.alloc(t, name, fn)
 	heap.Push(&w.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time. Negative d is
@@ -162,12 +261,49 @@ func (w *World) Defer(name string, fn func()) *Timer {
 	return w.At(w.now, name, fn)
 }
 
+// Rearm schedules fn at now+d, reusing the Timer handle t when possible: a
+// still-pending timer is rescheduled in place (no allocation at all), and a
+// fired or stopped handle is re-pointed at a free-list event. It returns the
+// handle actually armed — t unless t was nil. This is the AfterFunc/Reset
+// fast path for heartbeat and retry loops that would otherwise churn a
+// Timer allocation per tick.
+func (w *World) Rearm(t *Timer, d Time, name string, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t == nil {
+		return w.After(d, name, fn)
+	}
+	if d < 0 {
+		d = 0
+	}
+	at := w.now + d
+	if t.live() && t.ev.index >= 0 {
+		ev := t.ev
+		w.seq++
+		ev.at = at
+		ev.seq = w.seq
+		ev.name = name
+		ev.fn = fn
+		heap.Fix(&w.events, ev.index)
+		return t
+	}
+	w.maybeCompact()
+	ev := w.alloc(at, name, fn)
+	heap.Push(&w.events, ev)
+	t.ev = ev
+	t.gen = ev.gen
+	return t
+}
+
 // Step dispatches the next event, advancing the clock to its timestamp.
 // It reports false when the queue is empty.
 func (w *World) Step() bool {
 	for len(w.events) > 0 {
 		ev := heap.Pop(&w.events).(*event)
 		if ev.dead {
+			w.dead--
+			w.recycle(ev)
 			continue
 		}
 		if ev.at < w.now {
@@ -178,7 +314,11 @@ func (w *World) Step() bool {
 		if w.maxStep > 0 && w.steps > w.maxStep {
 			panic(fmt.Sprintf("sim: step limit %d exceeded (last event %q at %v)", w.maxStep, ev.name, ev.at))
 		}
-		ev.fn()
+		fn := ev.fn
+		// Recycle before dispatch so fn can Rearm its own handle straight
+		// from the free list; the gen bump has already detached the handle.
+		w.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -204,8 +344,17 @@ func (w *World) RunUntil(t Time) {
 	w.running = true
 	defer func() { w.running = false }()
 	for len(w.events) > 0 {
-		// Peek: the heap root is the earliest event.
-		if w.events[0].at > t {
+		// Peek: the heap root is the earliest event. Dead roots are
+		// reclaimed here rather than via Step, which would otherwise skip
+		// past them and dispatch a live event beyond the boundary.
+		root := w.events[0]
+		if root.dead {
+			heap.Pop(&w.events)
+			w.dead--
+			w.recycle(root)
+			continue
+		}
+		if root.at > t {
 			break
 		}
 		w.Step()

@@ -209,3 +209,173 @@ func TestNilEventFuncPanics(t *testing.T) {
 	}()
 	w.At(0, "nil", nil)
 }
+
+func TestStoppedTimersAreCompacted(t *testing.T) {
+	w := NewWorld()
+	// Arm a wide batch of timers and cancel most of them: the dead entries
+	// must not linger in the heap once they outnumber the live ones.
+	var live []*Timer
+	for i := 0; i < 1000; i++ {
+		tm := w.At(Time(i)*Millisecond+Minute, "churn", func() {})
+		if i%10 == 0 {
+			live = append(live, tm)
+		} else {
+			tm.Stop()
+		}
+	}
+	if got := w.Pending(); got != len(live) {
+		t.Fatalf("Pending = %d, want %d live", got, len(live))
+	}
+	// Compaction bounds the heap to roughly twice the live count (dead
+	// entries can accumulate to at most half the heap before a schedule
+	// sweeps them); without it all 900 cancelled events would linger.
+	w.At(Minute, "tick", func() {})
+	if got, bound := len(w.events), 2*(len(live)+1)+compactThreshold; got > bound {
+		t.Fatalf("heap still holds %d entries after compaction, want <= %d", got, bound)
+	}
+	for _, tm := range live {
+		if !tm.Pending() {
+			t.Fatal("compaction dropped a live timer")
+		}
+	}
+	w.Run()
+	if w.Pending() != 0 || len(w.events) != 0 {
+		t.Fatalf("queue not drained: pending=%d len=%d", w.Pending(), len(w.events))
+	}
+}
+
+func TestPendingExcludesStoppedTimers(t *testing.T) {
+	w := NewWorld()
+	a := w.At(Second, "a", func() {})
+	w.At(2*Second, "b", func() {})
+	if w.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", w.Pending())
+	}
+	// Regression: Stop used to leave the dead event counted until popped.
+	if !a.Stop() {
+		t.Fatal("Stop reported not pending")
+	}
+	if w.Pending() != 1 {
+		t.Fatalf("Pending after Stop = %d, want 1", w.Pending())
+	}
+	w.Run()
+	if w.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", w.Pending())
+	}
+}
+
+func TestRecycledEventDetachesOldHandle(t *testing.T) {
+	w := NewWorld()
+	old := w.At(0, "first", func() {})
+	w.Run() // fires and recycles the event struct
+	// The next schedule reuses the struct from the free list; the stale
+	// handle must not be able to cancel or observe it.
+	fired := false
+	fresh := w.At(Second, "second", func() { fired = true })
+	if old.ev != fresh.ev {
+		t.Skip("free list did not reuse the struct; nothing to check")
+	}
+	if old.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if old.Stop() {
+		t.Fatal("stale handle cancelled the new event")
+	}
+	w.Run()
+	if !fired {
+		t.Fatal("new event did not fire")
+	}
+}
+
+func TestRearmReschedulesInPlace(t *testing.T) {
+	w := NewWorld()
+	count := 0
+	tm := w.After(Second, "tick", func() { count++ })
+	// Rearm a pending timer: same handle, new deadline, old one cancelled.
+	if got := w.Rearm(tm, 2*Second, "tick", func() { count += 10 }); got != tm {
+		t.Fatal("Rearm of a pending timer should return the same handle")
+	}
+	w.RunUntil(Second)
+	if count != 0 {
+		t.Fatalf("original deadline fired: count = %d", count)
+	}
+	w.RunUntil(2 * Second)
+	if count != 10 {
+		t.Fatalf("rearmed deadline: count = %d, want 10", count)
+	}
+	// Rearm after firing: handle is re-pointed at a fresh schedule.
+	if got := w.Rearm(tm, Second, "tick", func() { count += 100 }); got != tm {
+		t.Fatal("Rearm of a fired timer should reuse the handle")
+	}
+	if !tm.Pending() {
+		t.Fatal("rearmed handle not pending")
+	}
+	w.Run()
+	if count != 110 {
+		t.Fatalf("count = %d, want 110", count)
+	}
+	// Rearm with nil handle allocates one.
+	tm2 := w.Rearm(nil, Second, "fresh", func() { count += 1000 })
+	if tm2 == nil || !tm2.Pending() {
+		t.Fatal("Rearm(nil) did not arm a timer")
+	}
+	w.Run()
+	if count != 1110 {
+		t.Fatalf("count = %d, want 1110", count)
+	}
+}
+
+func TestRearmSelfInsideCallback(t *testing.T) {
+	// The heartbeat pattern: a callback rearms its own handle. The event
+	// struct was recycled before dispatch, so the rearm must arm a fresh
+	// schedule rather than resurrect the fired one.
+	w := NewWorld()
+	ticks := 0
+	var tm *Timer
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			tm = w.Rearm(tm, Second, "hb", tick)
+		}
+	}
+	tm = w.After(Second, "hb", tick)
+	w.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if w.Now() != 5*Second {
+		t.Fatalf("Now = %v, want 5s", w.Now())
+	}
+}
+
+// TestAfterStopAllocBudget locks in the free-list fast path: steady-state
+// schedule/cancel cycles may allocate the Timer handle but not the event
+// (regression guard for the per-schedule event allocation and the Stop leak).
+func TestAfterStopAllocBudget(t *testing.T) {
+	w := NewWorld()
+	fn := func() {}
+	// Warm up: populate the free list via compaction.
+	for i := 0; i < 4096; i++ {
+		w.After(Second, "warm", fn).Stop()
+	}
+	avg := testing.AllocsPerRun(10000, func() {
+		w.After(Second, "churn", fn).Stop()
+	})
+	if avg > 1.5 {
+		t.Fatalf("After+Stop allocates %.2f objects/op, budget 1.5 (Timer handle only)", avg)
+	}
+}
+
+// TestRearmAllocBudget locks in the zero-allocation rearm loop.
+func TestRearmAllocBudget(t *testing.T) {
+	w := NewWorld()
+	fn := func() {}
+	tm := w.After(Second, "hb", fn)
+	avg := testing.AllocsPerRun(10000, func() {
+		tm = w.Rearm(tm, Second, "hb", fn)
+	})
+	if avg != 0 {
+		t.Fatalf("Rearm allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify loop (see ROADMAP.md): build, vet, full tests, then the
+# race detector over the packages that actually spawn goroutines — the
+# parallel experiment harness and the sim kernel it drives.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+# The race build runs ~10x slower; the experiments suite needs more than the
+# default 10m test timeout on small machines.
+go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
+echo "check: OK"
