@@ -1,0 +1,152 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Scope bounds the systematic search space: schedules of at most MaxFaults
+// actions drawn from Kinds, targeting the first Members group members, at
+// step boundaries 1..Steps.
+type Scope struct {
+	Members   int // group size eligible as fault targets (≤ Backups+1)
+	Steps     int // step boundaries 1..Steps
+	MaxFaults int
+	Kinds     []FaultKind // nil = all of Crash, Unplug, Drop
+}
+
+func (sc Scope) withDefaults() Scope {
+	if sc.Members <= 0 {
+		sc.Members = 4
+	}
+	if sc.Steps <= 0 {
+		sc.Steps = DefaultSteps
+	}
+	if sc.MaxFaults < 0 {
+		sc.MaxFaults = 0
+	}
+	if sc.Kinds == nil {
+		sc.Kinds = []FaultKind{Crash, Unplug, Drop}
+	}
+	return sc
+}
+
+// Universe lists every individual action the scope admits. Drop is global,
+// so it contributes one action per step regardless of Members.
+func (sc Scope) Universe() []Action {
+	sc = sc.withDefaults()
+	var out []Action
+	for step := 1; step <= sc.Steps; step++ {
+		for _, k := range sc.Kinds {
+			if k == Drop {
+				out = append(out, Action{Step: step, Kind: Drop})
+				continue
+			}
+			for t := 0; t < sc.Members; t++ {
+				out = append(out, Action{Step: step, Kind: k, Target: t})
+			}
+		}
+	}
+	return out
+}
+
+// Enumerate materializes every schedule in the scope, from the empty
+// schedule up to MaxFaults actions. Combinations where two actions repeat
+// the same (kind, target) pair are skipped: re-crashing an already-crashed
+// node or re-unplugging an unplugged one is a no-op that only pads the
+// search space.
+func Enumerate(sc Scope) []Schedule {
+	sc = sc.withDefaults()
+	universe := sc.Universe()
+	out := []Schedule{{}}
+	var rec func(start int, cur Schedule)
+	rec = func(start int, cur Schedule) {
+		if len(cur) >= sc.MaxFaults {
+			return
+		}
+		for i := start; i < len(universe); i++ {
+			a := universe[i]
+			dup := false
+			for _, b := range cur {
+				if b.Kind == a.Kind && b.Target == a.Target {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			next := append(append(Schedule{}, cur...), a)
+			out = append(out, next)
+			rec(i+1, next)
+		}
+	}
+	rec(0, Schedule{})
+	return out
+}
+
+// Report summarizes an exploration sweep.
+type Report struct {
+	Explored int
+	Failed   []Result // only failing results are retained
+	Events   uint64   // total simulator events across all runs
+}
+
+// Explore runs every schedule in the scope under cfg, using up to workers
+// goroutines (each run owns a private simulation environment, so runs are
+// independent). progress, if non-nil, is called after every run completes;
+// it may be called concurrently.
+func Explore(cfg Config, sc Scope, workers int, progress func(done, total int, r Result)) Report {
+	schedules := Enumerate(sc)
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(schedules) {
+		workers = len(schedules)
+	}
+
+	var (
+		cursor atomic.Int64
+		done   atomic.Int64
+		events atomic.Uint64
+		mu     sync.Mutex
+		failed []Result
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(schedules) {
+					return
+				}
+				r := RunSchedule(cfg, schedules[i])
+				events.Add(r.Events)
+				if r.Failed() {
+					mu.Lock()
+					failed = append(failed, r)
+					mu.Unlock()
+				}
+				n := int(done.Add(1))
+				if progress != nil {
+					progress(n, len(schedules), r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return Report{Explored: len(schedules), Failed: failed, Events: events.Load()}
+}
+
+// Summary renders a one-line outcome.
+func (r Report) Summary() string {
+	if len(r.Failed) == 0 {
+		return fmt.Sprintf("explored %d schedules, all invariants held (%d sim events)",
+			r.Explored, r.Events)
+	}
+	return fmt.Sprintf("explored %d schedules, %d FAILED (first: %s → %s)",
+		r.Explored, len(r.Failed), r.Failed[0].Schedule.Encode(), r.Failed[0].FirstInvariant())
+}

@@ -1,0 +1,226 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mams/internal/sim"
+)
+
+// FaultKind is one of the explorer's injectable fault classes.
+type FaultKind int
+
+const (
+	// Crash kills the target server's process; it restarts only on heal.
+	Crash FaultKind = iota
+	// Unplug detaches the target from the network without killing it — the
+	// paper's Test B (network unplugged), which exercises self-fencing.
+	Unplug
+	// Drop raises the network loss rate to 1.0 for a short burst, modeling
+	// a transient message-drop storm. It is global, so Target is ignored.
+	Drop
+)
+
+var kindLetter = map[FaultKind]string{Crash: "c", Unplug: "u", Drop: "d"}
+var letterKind = map[string]FaultKind{"c": Crash, "u": Unplug, "d": Drop}
+
+func (k FaultKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Unplug:
+		return "unplug"
+	case Drop:
+		return "drop"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Action injects one fault at a protocol step boundary. Target indexes the
+// group-0 member list (0 = the member that boots active); Drop actions
+// carry Target 0 by canonicalization.
+type Action struct {
+	Step   int
+	Kind   FaultKind
+	Target int
+}
+
+func (a Action) String() string {
+	if a.Kind == Drop {
+		return fmt.Sprintf("d@%d", a.Step)
+	}
+	return fmt.Sprintf("%s%d@%d", kindLetter[a.Kind], a.Target, a.Step)
+}
+
+// Schedule is an ordered list of fault injections.
+type Schedule []Action
+
+// canon returns the schedule sorted by (Step, Kind, Target) with Drop
+// targets zeroed, so semantically equal schedules encode identically.
+func (s Schedule) canon() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	for i := range out {
+		if out[i].Kind == Drop {
+			out[i].Target = 0
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// Encode renders the schedule as a compact replayable string, e.g.
+// "c0@2,u1@4,d@5". The empty schedule encodes as "-".
+func (s Schedule) Encode() string {
+	c := s.canon()
+	if len(c) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(c))
+	for i, a := range c {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s Schedule) String() string { return s.Encode() }
+
+// DecodeSchedule parses the Encode format.
+func DecodeSchedule(enc string) (Schedule, error) {
+	enc = strings.TrimSpace(enc)
+	if enc == "" || enc == "-" {
+		return Schedule{}, nil
+	}
+	var out Schedule
+	for _, part := range strings.Split(enc, ",") {
+		part = strings.TrimSpace(part)
+		at := strings.IndexByte(part, '@')
+		if at < 1 {
+			return nil, fmt.Errorf("check: bad action %q (want like c0@2 or d@5)", part)
+		}
+		kind, ok := letterKind[part[:1]]
+		if !ok {
+			return nil, fmt.Errorf("check: unknown fault kind in %q", part)
+		}
+		target := 0
+		if body := part[1:at]; body != "" {
+			t, err := strconv.Atoi(body)
+			if err != nil || t < 0 {
+				return nil, fmt.Errorf("check: bad target in %q", part)
+			}
+			target = t
+		} else if kind != Drop {
+			return nil, fmt.Errorf("check: %s action %q needs a target", kind, part)
+		}
+		step, err := strconv.Atoi(part[at+1:])
+		if err != nil || step < 0 {
+			return nil, fmt.Errorf("check: bad step in %q", part)
+		}
+		out = append(out, Action{Step: step, Kind: kind, Target: target})
+	}
+	return out.canon(), nil
+}
+
+// Artifact is everything needed to replay a run bit-for-bit: the runner
+// configuration knobs that affect the simulation plus the schedule itself.
+// It round-trips through a line-oriented key=value text format so failing
+// schedules can be committed as test fixtures and pasted into bug reports.
+type Artifact struct {
+	Seed      uint64
+	Backups   int
+	Steps     int
+	StepEvery sim.Time
+	Load      int
+	Schedule  Schedule
+	Bug       string // regression knob ("" or "dup-sn")
+	SyncSSP   bool
+}
+
+const artifactHeader = "mamscheck-artifact v1"
+
+// WriteArtifact serializes a in the fixture text format.
+func WriteArtifact(w io.Writer, a Artifact) error {
+	_, err := fmt.Fprintf(w,
+		"%s\nseed=%d\nbackups=%d\nsteps=%d\nstepevery=%d\nload=%d\nschedule=%s\nbug=%s\nsyncssp=%t\n",
+		artifactHeader, a.Seed, a.Backups, a.Steps, int64(a.StepEvery), a.Load,
+		a.Schedule.Encode(), a.Bug, a.SyncSSP)
+	return err
+}
+
+// ReadArtifact parses the fixture text format.
+func ReadArtifact(r io.Reader) (Artifact, error) {
+	var a Artifact
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return a, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != artifactHeader {
+		return a, fmt.Errorf("check: not a %q file", artifactHeader)
+	}
+	for _, ln := range lines[1:] {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		eq := strings.IndexByte(ln, '=')
+		if eq < 0 {
+			return a, fmt.Errorf("check: bad artifact line %q", ln)
+		}
+		key, val := ln[:eq], ln[eq+1:]
+		switch key {
+		case "seed":
+			a.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "backups":
+			a.Backups, err = strconv.Atoi(val)
+		case "steps":
+			a.Steps, err = strconv.Atoi(val)
+		case "stepevery":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 64)
+			a.StepEvery = sim.Time(n)
+		case "load":
+			a.Load, err = strconv.Atoi(val)
+		case "schedule":
+			a.Schedule, err = DecodeSchedule(val)
+		case "bug":
+			a.Bug = val
+		case "syncssp":
+			a.SyncSSP, err = strconv.ParseBool(val)
+		default:
+			return a, fmt.Errorf("check: unknown artifact key %q", key)
+		}
+		if err != nil {
+			return a, fmt.Errorf("check: bad artifact value for %s: %v", key, err)
+		}
+	}
+	return a, nil
+}
+
+// Config returns the runner configuration the artifact pins down.
+func (a Artifact) Config() Config {
+	return Config{
+		Seed: a.Seed, Backups: a.Backups, Steps: a.Steps, StepEvery: a.StepEvery,
+		Load: a.Load, Bug: a.Bug, SyncSSP: a.SyncSSP,
+	}
+}
+
+// ArtifactFor captures cfg (after defaulting) and a schedule as an artifact.
+func ArtifactFor(cfg Config, s Schedule) Artifact {
+	cfg = cfg.withDefaults()
+	return Artifact{
+		Seed: cfg.Seed, Backups: cfg.Backups, Steps: cfg.Steps, StepEvery: cfg.StepEvery,
+		Load: cfg.Load, Schedule: s.canon(), Bug: cfg.Bug, SyncSSP: cfg.SyncSSP,
+	}
+}

@@ -1,0 +1,56 @@
+package check
+
+// Shrink greedily minimizes a failing schedule while preserving the failure:
+// it first tries dropping whole actions, then lowering each surviving
+// action's step number, accepting any candidate that still violates the same
+// invariant the original run violated first. Runs to a fixpoint, so the
+// result is 1-minimal (no single deletion or step decrement keeps it
+// failing). Every candidate costs one full RunSchedule, so the number of
+// runs is O(len(sched) * (len(sched) + Steps)) — small for ≤3-fault scopes.
+//
+// The returned Result is the final failing run of the minimal schedule;
+// progress, if non-nil, observes every candidate run.
+func Shrink(cfg Config, sched Schedule, progress func(candidate Schedule, r Result)) (Schedule, Result) {
+	cur := sched.canon()
+	best := RunSchedule(cfg, cur)
+	if !best.Failed() {
+		return cur, best // not reproducible; nothing to shrink
+	}
+	want := best.FirstInvariant()
+
+	try := func(cand Schedule) bool {
+		r := RunSchedule(cfg, cand)
+		if progress != nil {
+			progress(cand, r)
+		}
+		if r.Failed() && r.FirstInvariant() == want {
+			cur, best = cand.canon(), r
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Pass 1: drop each action.
+		for i := 0; i < len(cur); i++ {
+			cand := append(append(Schedule{}, cur[:i]...), cur[i+1:]...)
+			if try(cand) {
+				changed = true
+				i = -1 // restart over the new, shorter schedule
+			}
+		}
+		// Pass 2: pull each action to an earlier step.
+		for i := 0; i < len(cur); i++ {
+			for cur[i].Step > 1 {
+				cand := append(Schedule{}, cur...)
+				cand[i].Step--
+				if !try(cand) {
+					break
+				}
+				changed = true
+			}
+		}
+	}
+	return cur, best
+}

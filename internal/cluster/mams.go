@@ -249,6 +249,22 @@ func (c *MAMSCluster) AddBackup(g int) *mams.Server {
 	return srv
 }
 
+// HealAll restarts every crashed member and replugs every unplugged one in
+// every group — the heal phase of the systematic fault checker. Network-level
+// faults (loss, cuts) are the caller's to clear.
+func (c *MAMSCluster) HealAll() {
+	for _, members := range c.Groups {
+		for _, s := range members {
+			if !s.Node().Up() {
+				s.Restart()
+			}
+			if s.Node().Unplugged() {
+				s.Node().Replug()
+			}
+		}
+	}
+}
+
 // breaker is a lazily created out-of-band coordination client used by
 // fault injection (Test A's "modifying the global view to make the active
 // lose the lock").

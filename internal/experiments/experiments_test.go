@@ -146,6 +146,11 @@ func TestTableIIShape(t *testing.T) {
 	t.Log("\n" + res.Table.String())
 	for _, k := range []TestKind{TestA, TestB, TestC} {
 		sc := res.Scenarios[k]
+		// The always-on protocol invariants (internal/check) must hold through
+		// every fault scenario, not just the systematic explorer's scopes.
+		for _, v := range sc.InvariantViolations {
+			t.Errorf("test %s invariant violation: %v", k, v)
+		}
 		if len(sc.States) < 3 {
 			t.Fatalf("test %s recorded only %d states", k, len(sc.States))
 		}

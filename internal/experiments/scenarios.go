@@ -5,9 +5,12 @@ import (
 	"strings"
 	"sync"
 
+	"mams/internal/check"
 	"mams/internal/cluster"
+	"mams/internal/mams"
 	"mams/internal/metrics"
 	"mams/internal/sim"
+	"mams/internal/trace"
 	"mams/internal/workload"
 )
 
@@ -84,6 +87,9 @@ type ScenarioResult struct {
 	Events []string
 	// Completed/Failed count client operations.
 	Completed, Failed int
+	// InvariantViolations holds any protocol-invariant breaches the
+	// internal/check monitor observed during the run (empty on a clean run).
+	InvariantViolations []check.Violation
 }
 
 // scenarioMemo caches scenario runs within a process: Table II and
@@ -133,7 +139,11 @@ func runScenarios(kinds []TestKind, opts Options) map[TestKind]ScenarioResult {
 
 func runScenarioFresh(kind TestKind, opts Options) ScenarioResult {
 	env := cluster.NewEnv(opts.Seed*100 + uint64(kind[0]))
-	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3})
+	p := mams.DefaultParams()
+	p.TraceAppends = true // feed the monitor's sn-monotone invariant
+	env.Trace.DispatchOnly(trace.KindJournal)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3, Params: p})
+	mon := check.Attach(env, c)
 	c.AwaitStable(30 * sim.Second)
 
 	res := ScenarioResult{Kind: kind, Series: metrics.NewSeries(0, sim.Second)}
@@ -174,10 +184,12 @@ func runScenarioFresh(kind TestKind, opts Options) ScenarioResult {
 	for env.Now() < start+240*sim.Second {
 		env.RunFor(100 * sim.Millisecond)
 		record()
+		mon.Sample()
 	}
 	stop()
 	res.Completed = drv.Completed()
 	res.Failed = drv.Failed()
+	res.InvariantViolations = mon.Violations()
 	return res
 }
 

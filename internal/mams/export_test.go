@@ -1,0 +1,8 @@
+package mams
+
+// ReflushTailForTest replays the failover step-4 re-flush from this server
+// exactly as commitCachedAndFlip would, letting tests exercise duplicate
+// suppression without staging a full active crash.
+func (s *Server) ReflushTailForTest() {
+	s.reflushTail(s.view.Epoch)
+}

@@ -230,7 +230,16 @@ func (s *Server) reflushTail(epoch uint64) {
 func (s *Server) juniorCatchupFromSSP(done func()) {
 	s.sspc.List(s.cfg.Group, func(keys []ssp.Key, sizes map[ssp.Key]int64, err error) {
 		if err != nil {
-			done() // serve with what we have; the pool is unreachable
+			// Serving without the pool's tail would mint new batches that
+			// reuse still-live serial numbers and silently fork the journal
+			// (acknowledged operations would be overwritten in sequence
+			// space). Retry until the pool answers; the timer dies with the
+			// process, and a competing member takes over if we stall.
+			s.node.After(100*sim.Millisecond, "mams-catchup-retry", func() {
+				if !s.stopped {
+					s.juniorCatchupFromSSP(done)
+				}
+			})
 			return
 		}
 		var bestImage ssp.Key
@@ -254,6 +263,9 @@ func (s *Server) juniorCatchupFromSSP(done func()) {
 					if tree, lerr := loadImage(data); lerr == nil {
 						s.tree = tree
 						s.log.ResetTo(bestImage.Seq, s.view.Epoch)
+						// The monitor resets this node's sn floor here: an
+						// image load legitimately rewinds the append stream.
+						s.emit(trace.KindRenew, "image-loaded", "sn", fmt.Sprint(bestImage.Seq))
 					}
 				}
 				afterImage()
@@ -280,25 +292,39 @@ func (s *Server) replayPoolJournals(keys []ssp.Key, done func()) {
 		}
 		key := keys[idx]
 		idx++
-		s.sspc.Get(key, func(data []byte, size int64, err error) {
-			if err != nil {
-				done()
-				return
-			}
-			b, derr := journal.DecodeBatch(data)
-			if derr != nil || b.SN != next {
-				done()
-				return
-			}
-			if aerr := s.tree.ApplyBatch(b); aerr != nil {
-				s.emit(trace.KindJournal, "ssp-replay-error", "err", aerr.Error())
-				done()
-				return
-			}
-			_ = s.log.Append(b)
-			s.lastTx = b.LastTx()
-			step()
-		})
+		var fetch func()
+		fetch = func() {
+			s.sspc.Get(key, func(data []byte, size int64, err error) {
+				if err != nil {
+					// Same reasoning as the List retry above: a gap here
+					// would let the new active reuse acknowledged serial
+					// numbers. Every committed batch has a full pool replica
+					// set, so the fetch succeeds once the network lets it.
+					s.node.After(100*sim.Millisecond, "mams-replay-retry", func() {
+						if !s.stopped {
+							fetch()
+						}
+					})
+					return
+				}
+				b, derr := journal.DecodeBatch(data)
+				if derr != nil || b.SN != next {
+					done()
+					return
+				}
+				if aerr := s.tree.ApplyBatch(b); aerr != nil {
+					s.emit(trace.KindJournal, "ssp-replay-error", "err", aerr.Error())
+					done()
+					return
+				}
+				if s.log.Append(b) == nil {
+					s.emitAppend(b.SN)
+				}
+				s.lastTx = b.LastTx()
+				step()
+			})
+		}
+		fetch()
 	}
 	step()
 }

@@ -62,6 +62,20 @@ type Params struct {
 	// (0 disables periodic checkpoints).
 	CheckpointEverySN uint64
 
+	// TraceAppends emits a KindJournal "append"/"append-dup" trace event at
+	// every journal append site (active seal, standby commit, renew apply,
+	// SSP replay). The invariant monitor in internal/check consumes these to
+	// assert per-node sn monotonicity; off by default to keep the trace log
+	// small in throughput experiments.
+	TraceAppends bool
+
+	// SkipDupSuppression is a deliberate regression knob for internal/check:
+	// it makes a standby re-apply duplicate batches during the failover
+	// re-flush instead of suppressing them by sn. Never set outside checker
+	// self-tests — it exists so the explorer's "catches a planted bug and
+	// shrinks it" acceptance test has a bug to catch.
+	SkipDupSuppression bool
+
 	// SyncSSP makes batch commit additionally wait for the shared storage
 	// pool write to be durable. This implements the paper's future-work
 	// direction ("data recovery at any point with less data loss"): with

@@ -147,14 +147,15 @@ func (s *Server) onRenewProgress(m RenewProgress) {
 	}
 	s.emit(trace.KindRenew, "renew-final-sync", "junior", string(m.From), "gap", fmt.Sprint(gap))
 	// From this instant every sealed batch also goes to the junior; the
-	// missing tail is flushed first (FIFO links keep it in order).
+	// missing tail is flushed first (FIFO links keep it in order). The flush
+	// covers the full sealed log, not just the committed prefix: batches
+	// sealed while every standby was fenced exist only on this active, and a
+	// member promoted without them could never obtain them outside failover
+	// (the re-flush of Fig. 4 step 4 only replays the last few batches).
 	s.renewTarget = m.From
 	for _, b := range s.log.Since(m.SN) {
-		if b.SN > s.committedSN {
-			break
-		}
 		s.node.Send(m.From, AppendBatch{From: s.cfg.ID, Epoch: s.view.Epoch, Batch: b,
-			CommitThrough: b.SN - 1, FlushOnly: true})
+			CommitThrough: s.committedSN, FlushOnly: true})
 	}
 	s.node.Send(m.From, CommitNotice{Epoch: s.view.Epoch, Through: s.committedSN})
 	s.casView(func(v *View) bool {
@@ -275,7 +276,9 @@ func (s *Server) pullRenewJournal() {
 					s.renewing = false
 					return
 				}
-				_ = s.log.Append(b)
+				if s.log.Append(b) == nil {
+					s.emitAppend(b.SN)
+				}
 				s.lastTx = b.LastTx()
 			}
 			s.node.Send(s.renewActive, RenewProgress{From: s.cfg.ID, SN: s.log.LastSN()})

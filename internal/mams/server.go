@@ -62,6 +62,20 @@ type replState struct {
 	needed     map[simnet.NodeID]bool
 	timer      *sim.Timer
 	sspPending bool // SyncSSP mode: pool write not yet durable
+	// fencing counts laggard demotions still being written to the
+	// coordination service. The batch must not commit (and the client must
+	// not be acked) until every laggard is durably marked junior: otherwise
+	// an active crash in that window lets the stale member — which never
+	// stored this batch — win the next election and silently lose an
+	// acknowledged operation.
+	fencing int
+	// acked counts standbys that positively acknowledged the batch, and
+	// sspDone records completion of the (normally asynchronous) pool write.
+	// A batch held by no standby — the group degraded to a lone active —
+	// only commits once the pool copy is durable; otherwise the ack would
+	// make the active the sole owner of an acknowledged operation.
+	acked   int
+	sspDone bool
 }
 
 type queuedOp struct {
@@ -193,6 +207,21 @@ func (s *Server) imageBytes() int64 {
 func (s *Server) emit(kind trace.Kind, what string, args ...string) {
 	if s.tr != nil {
 		s.tr.Emit(kind, string(s.cfg.ID), what, args...)
+	}
+}
+
+// emitAppend reports a journal append for the invariant monitor
+// (internal/check asserts per-node sn strict monotonicity from these).
+func (s *Server) emitAppend(sn uint64) {
+	if s.cfg.Params.TraceAppends {
+		s.emit(trace.KindJournal, "append", "sn", fmt.Sprint(sn))
+	}
+}
+
+// emitDup reports a duplicate batch suppressed by its serial number.
+func (s *Server) emitDup(sn uint64) {
+	if s.cfg.Params.TraceAppends {
+		s.emit(trace.KindJournal, "append-dup", "sn", fmt.Sprint(sn))
 	}
 }
 
@@ -710,6 +739,17 @@ func (s *Server) HandleMessage(from simnet.NodeID, msg any) {
 		return
 	}
 	switch m := msg.(type) {
+	case AppendBatch:
+		// The failover re-flush (Fig. 4 step 4) and the renewing final sync
+		// send their tails one-way rather than as RPCs; without this case
+		// they were silently discarded, so a standby that had lost its
+		// cached tail never received the re-flush it needed. The ack goes
+		// back one-way too so the active's LastSN bookkeeping still updates.
+		s.onAppendBatch(from, m, func(resp any) {
+			if ack, ok := resp.(AppendAck); ok {
+				s.node.Send(from, ack)
+			}
+		})
 	case AppendAck:
 		s.onAppendAck(m)
 	case CommitNotice:
@@ -916,6 +956,7 @@ func (s *Server) sealBatch() {
 		s.emit(trace.KindJournal, "active-append-error", "err", err.Error())
 		return
 	}
+	s.emitAppend(batch.SN)
 	targets := s.replTargets()
 	// Replication + SSP serialization CPU cost on the active.
 	cost := sim.Time(len(targets)) * (s.cfg.Params.ReplPerBatchPerStandby +
@@ -936,18 +977,28 @@ func (s *Server) sealBatch() {
 	// (§IV: "written back to journals in an asynchronous way"), or as part
 	// of the commit requirement in SyncSSP mode.
 	enc := batch.Encode()
-	if s.cfg.Params.SyncSSP {
-		rs.sspPending = true
-		sn := batch.SN
+	rs.sspPending = s.cfg.Params.SyncSSP
+	sn := batch.SN
+	var put func()
+	put = func() {
 		s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: sn}, enc, int64(len(enc)), func(err error) {
-			if cur, ok := s.pendingRepl[sn]; ok && cur == rs {
-				rs.sspPending = false
-				s.tryAdvanceCommit()
+			cur, ok := s.pendingRepl[sn]
+			if !ok || cur != rs {
+				return // already committed via standby acks, or we stepped down
 			}
+			if err != nil {
+				// A failed pool write is not durability: this write is the
+				// backstop for batches no standby holds (and the whole point
+				// of SyncSSP mode). Retry while the batch is pending.
+				s.node.After(100*sim.Millisecond, "mams-ssp-retry", put)
+				return
+			}
+			rs.sspDone = true
+			rs.sspPending = false
+			s.tryAdvanceCommit()
 		})
-	} else {
-		s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: batch.SN}, enc, int64(len(enc)), func(error) {})
 	}
+	put()
 
 	if len(targets) == 0 {
 		s.tryAdvanceCommit()
@@ -986,12 +1037,13 @@ func (s *Server) onAppendAck(ack AppendAck) {
 	}
 	if !ack.OK {
 		// The member has a gap: degrade it to junior (§III.C "degrades
-		// them to the junior state when necessary").
-		s.demoteMember(ack.From)
-		delete(rs.needed, ack.From)
+		// them to the junior state when necessary"), and hold the commit
+		// until the demotion is durable in the coordination service.
+		s.fenceLaggard(rs, ack.From)
 	} else {
-		delete(rs.needed, ack.From)
+		rs.acked++
 	}
+	delete(rs.needed, ack.From)
 	if len(rs.needed) == 0 {
 		if rs.timer != nil {
 			rs.timer.Stop()
@@ -1007,7 +1059,14 @@ func (s *Server) tryAdvanceCommit() {
 	for {
 		next := s.committedSN + 1
 		rs, ok := s.pendingRepl[next]
-		if !ok || len(rs.needed) > 0 || rs.sspPending {
+		if !ok || len(rs.needed) > 0 || rs.sspPending || rs.fencing > 0 {
+			break
+		}
+		if rs.acked == 0 && !rs.sspDone {
+			// Every replica that should hold this batch was fenced out (or
+			// none existed): hold the ack until the pool write lands, so a
+			// crash of this lone active cannot lose an acknowledged op. The
+			// pool-write callback re-polls the pipeline.
 			break
 		}
 		if rs.timer != nil {
@@ -1037,32 +1096,72 @@ func (s *Server) onAckTimeout(sn uint64) {
 		return
 	}
 	for t := range rs.needed {
-		s.demoteMember(t)
+		s.fenceLaggard(rs, t)
 		delete(rs.needed, t)
 	}
 	s.tryAdvanceCommit()
 }
 
+// fenceLaggard demotes a member that missed rs's batch and blocks rs's
+// commit until the demotion is durable. Releasing the fence re-polls the
+// commit pipeline.
+func (s *Server) fenceLaggard(rs *replState, id simnet.NodeID) {
+	rs.fencing++
+	s.demoteMember(id, func() {
+		rs.fencing--
+		s.tryAdvanceCommit()
+	})
+}
+
 // demoteMember marks a group member junior in the view and notifies it.
-func (s *Server) demoteMember(id simnet.NodeID) {
+// done (optional) runs once the demotion is durable in the coordination
+// service — or provably unnecessary (the member is already junior there, or
+// this server stopped being active, which voids its pending commits anyway).
+// Callers that must fence a laggard out of the next election before acking a
+// client pass done; fire-and-forget callers pass nil.
+func (s *Server) demoteMember(id simnet.NodeID, done func()) {
 	if string(id) == s.view.Active {
+		if done != nil {
+			done()
+		}
 		return
 	}
-	if s.view.States[string(id)] == RoleJunior {
+	// The local-view fast path is only safe without a durability obligation:
+	// the cached view may be stale.
+	if done == nil && s.view.States[string(id)] == RoleJunior {
 		return
 	}
 	s.emit(trace.KindState, "demote-member", "member", string(id))
+	if s.renewTarget == id {
+		s.renewTarget = ""
+	}
 	s.casView(func(v *View) bool {
 		if v.States[string(id)] == RoleJunior || v.Active == string(id) {
 			return false
 		}
 		v.States[string(id)] = RoleJunior
 		return true
-	}, func(error) {})
-	s.node.Send(id, Demote{Epoch: s.view.Epoch})
-	if s.renewTarget == id {
-		s.renewTarget = ""
-	}
+	}, func(err error) {
+		if err != nil {
+			// Coordination hiccup: the demotion is not durable. Keep trying
+			// while we are still the active — the commit (and the client
+			// ack) stays blocked behind the fence until this lands. Once we
+			// stop being active our pending replication state is discarded,
+			// so the fence no longer guards anything.
+			if s.role == RoleActive && !s.stopped {
+				s.node.After(100*sim.Millisecond, "mams-demote-retry", func() {
+					s.demoteMember(id, done)
+				})
+			} else if done != nil {
+				done()
+			}
+			return
+		}
+		s.node.Send(id, Demote{Epoch: s.view.Epoch})
+		if done != nil {
+			done()
+		}
+	})
 }
 
 // maybeCheckpoint saves a periodic image to the SSP.
@@ -1122,6 +1221,15 @@ func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any
 		// Duplicate (failover step 4 re-flush): "Only if sn from the
 		// active is larger than the current maximum serial number, the
 		// standby applies journals."
+		if s.cfg.Params.SkipDupSuppression {
+			// Planted regression for internal/check self-tests: re-apply
+			// the duplicate instead of suppressing it. The monitor sees a
+			// non-monotone append and flags it.
+			_ = s.tree.ApplyBatch(m.Batch)
+			s.emitAppend(sn)
+		} else {
+			s.emitDup(sn)
+		}
 		reply(AppendAck{From: s.cfg.ID, SN: sn, OK: true, LastSN: s.effectiveSN()})
 	case sn == expected:
 		// Charge standby CPU for the records it will apply.
@@ -1173,7 +1281,10 @@ func (s *Server) commitPending() {
 		}, func(error) {})
 		return
 	}
-	if err := s.log.Append(*b); err != nil && err != journal.ErrStale {
+	switch err := s.log.Append(*b); {
+	case err == nil:
+		s.emitAppend(b.SN)
+	case err != journal.ErrStale:
 		s.emit(trace.KindJournal, "append-error", "err", err.Error())
 	}
 	s.lastTx = b.LastTx()

@@ -6,7 +6,6 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"mams/internal/fsclient"
 	"mams/internal/sim"
@@ -73,33 +72,47 @@ func (c *Collector) MeanLatency(from, to sim.Time) sim.Time {
 }
 
 // MTTR computes the paper's recovery metric for a fault injected at
-// faultAt: the gap between the last acknowledged operation before (or at)
-// the outage and the first acknowledged operation after it — i.e. the
-// largest success gap that spans the fault instant.
+// faultAt: the gap between the last acknowledged operation at or before
+// the outage and the first acknowledged operation strictly after it — the
+// success gap that spans the fault instant.
+//
+// Boundary semantics: a success completing exactly at faultAt proves the
+// service was alive at the fault instant, so it counts as the pre-fault
+// endpoint; recovery requires a success strictly after faultAt (otherwise
+// that one operation would satisfy both sides and report a zero-width
+// recovery). Pre-fault presence is tracked with an explicit flag rather
+// than a -1 time sentinel, so a legitimate success completing at time 0
+// counts as a pre-fault observation.
 func (c *Collector) MTTR(faultAt sim.Time) (sim.Time, bool) {
-	var ends []sim.Time
+	var pre, post sim.Time
+	havePre, havePost := false, false
 	for _, r := range c.Results {
-		if r.Err == nil {
-			ends = append(ends, r.End)
+		if r.Err != nil {
+			continue
+		}
+		switch e := r.End; {
+		case e <= faultAt:
+			if !havePre || e > pre {
+				pre, havePre = e, true
+			}
+		default:
+			if !havePost || e < post {
+				post, havePost = e, true
+			}
 		}
 	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-	if len(ends) == 0 {
+	if !havePre || !havePost {
+		// No pre-fault success observed, or the service never recovered
+		// within the observation window.
 		return 0, false
 	}
-	// Find the success gap containing faultAt.
-	prev := sim.Time(-1)
-	for _, e := range ends {
-		if e >= faultAt && prev >= 0 && prev <= faultAt {
-			return e - prev, true
-		}
-		if e > faultAt && prev < 0 {
-			return 0, false // no pre-fault success observed
-		}
-		prev = e
-	}
-	return 0, false // service never recovered in the observation window
+	return post - pre, true
 }
+
+// DefaultMaxBuckets bounds Series growth when no explicit cap is set: one
+// completion with a far-future timestamp must not allocate gigabuckets.
+// 2^21 one-second buckets cover ~24 simulated days — far beyond any run.
+const DefaultMaxBuckets = 1 << 21
 
 // Series bins successful completions into fixed windows — the requests/sec
 // curves of Figure 8.
@@ -107,6 +120,12 @@ type Series struct {
 	Bucket sim.Time
 	Start  sim.Time
 	Counts []int
+	// MaxBuckets caps the series length (0 = DefaultMaxBuckets).
+	// Completions past the cap are counted in Overflow instead of grown
+	// into place.
+	MaxBuckets int
+	// Overflow counts completions rejected by the cap.
+	Overflow int
 }
 
 // NewSeries creates a series with the given bucket width.
@@ -114,12 +133,25 @@ func NewSeries(start, bucket sim.Time) *Series {
 	return &Series{Bucket: bucket, Start: start}
 }
 
-// Add records one completion at time t.
+// Add records one completion at time t. Completions before the series start
+// are ignored; completions beyond the bucket cap are tallied in Overflow
+// rather than allocating an arbitrarily long slice.
 func (s *Series) Add(t sim.Time) {
-	if t < s.Start {
+	if t < s.Start || s.Bucket <= 0 {
 		return
 	}
-	idx := int((t - s.Start) / s.Bucket)
+	max := s.MaxBuckets
+	if max <= 0 {
+		max = DefaultMaxBuckets
+	}
+	// Compare in sim.Time space before converting: a far-future t could
+	// overflow int on conversion.
+	q := (t - s.Start) / s.Bucket
+	if q >= sim.Time(max) {
+		s.Overflow++
+		return
+	}
+	idx := int(q)
 	for len(s.Counts) <= idx {
 		s.Counts = append(s.Counts, 0)
 	}

@@ -108,6 +108,80 @@ func TestMTTRNoOutage(t *testing.T) {
 	}
 }
 
+func TestMTTRBoundaries(t *testing.T) {
+	cases := []struct {
+		name    string
+		ends    []sim.Time // success completion times
+		fails   []sim.Time // failed-op completion times (must be ignored)
+		faultAt sim.Time
+		want    sim.Time
+		found   bool
+	}{
+		{
+			// A success landing exactly at faultAt is the pre-fault endpoint,
+			// not the recovery; it must not produce a zero-width gap.
+			name:    "success exactly at fault instant",
+			ends:    []sim.Time{5 * sim.Second, 10 * sim.Second, 16 * sim.Second},
+			faultAt: 10 * sim.Second,
+			want:    6 * sim.Second,
+			found:   true,
+		},
+		{
+			name:    "only success is at fault instant",
+			ends:    []sim.Time{10 * sim.Second},
+			faultAt: 10 * sim.Second,
+			found:   false,
+		},
+		{
+			// A success at time 0 is a legitimate pre-fault observation; the
+			// old -1 sentinel encoding must not swallow it.
+			name:    "time-zero completion counts as pre-fault",
+			ends:    []sim.Time{0, 7 * sim.Second},
+			faultAt: 2 * sim.Second,
+			want:    7 * sim.Second,
+			found:   true,
+		},
+		{
+			name:    "failures never bracket the gap",
+			ends:    []sim.Time{1 * sim.Second, 9 * sim.Second},
+			fails:   []sim.Time{2 * sim.Second, 3 * sim.Second},
+			faultAt: 2500 * sim.Millisecond,
+			want:    8 * sim.Second,
+			found:   true,
+		},
+		{
+			name:    "unsorted observation order",
+			ends:    []sim.Time{9 * sim.Second, 1 * sim.Second, 6 * sim.Second, 2 * sim.Second},
+			faultAt: 3 * sim.Second,
+			want:    4 * sim.Second,
+			found:   true,
+		},
+		{
+			name:    "empty collector",
+			faultAt: sim.Second,
+			found:   false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &Collector{}
+			for _, e := range tc.ends {
+				c.Observe(fsclient.Result{Start: e, End: e})
+			}
+			for _, e := range tc.fails {
+				c.Observe(bad(e))
+			}
+			mttr, found := c.MTTR(tc.faultAt)
+			if found != tc.found {
+				t.Fatalf("found = %v, want %v", found, tc.found)
+			}
+			if found && mttr != tc.want {
+				t.Fatalf("MTTR = %v, want %v", mttr, tc.want)
+			}
+		})
+	}
+}
+
 func TestSeriesBinning(t *testing.T) {
 	s := NewSeries(0, sim.Second)
 	s.Add(100 * sim.Millisecond)
@@ -122,6 +196,64 @@ func TestSeriesBinning(t *testing.T) {
 	}
 	if s.Rate(-1) != 0 {
 		t.Fatal("negative index should be 0")
+	}
+}
+
+func TestSeriesCapsGrowth(t *testing.T) {
+	s := NewSeries(0, sim.Second)
+	s.MaxBuckets = 8
+	s.Add(3 * sim.Second)
+	s.Add(7 * sim.Second) // last in-range bucket
+	s.Add(8 * sim.Second) // first past the cap
+	s.Add(1 << 60)        // absurdly far future: must not allocate
+	if len(s.Counts) > 8 {
+		t.Fatalf("series grew to %d buckets past cap 8", len(s.Counts))
+	}
+	if s.Overflow != 2 {
+		t.Fatalf("Overflow = %d, want 2", s.Overflow)
+	}
+	if s.Rate(3) != 1 || s.Rate(7) != 1 {
+		t.Fatalf("in-range rates lost: %v", s.Rates())
+	}
+}
+
+func TestSeriesDefaultCap(t *testing.T) {
+	s := NewSeries(0, sim.Second)
+	// One completion 2^30 seconds out would previously allocate a slice of
+	// that length (8 GiB of buckets); now it must land in Overflow.
+	s.Add(sim.Time(1<<30) * sim.Second)
+	if len(s.Counts) != 0 || s.Overflow != 1 {
+		t.Fatalf("far-future add: len=%d overflow=%d", len(s.Counts), s.Overflow)
+	}
+	// Overflow in sim.Time space before int conversion: a timestamp large
+	// enough to wrap int must still be rejected, not wrapped negative.
+	s.Add(sim.Time(1<<62) + 1)
+	if s.Overflow != 2 {
+		t.Fatalf("huge add not counted as overflow: %d", s.Overflow)
+	}
+}
+
+func TestSeriesRateEmptyBuckets(t *testing.T) {
+	s := NewSeries(0, sim.Second)
+	if s.Rate(0) != 0 || s.Rate(5) != 0 || s.Rate(-1) != 0 {
+		t.Fatal("empty series should report 0 for every bucket")
+	}
+	s.Add(2500 * sim.Millisecond)
+	// Buckets 0 and 1 exist (allocated up to index 2) but hold no samples.
+	if s.Rate(0) != 0 || s.Rate(1) != 0 {
+		t.Fatalf("empty allocated buckets nonzero: %v", s.Rates())
+	}
+	if s.Rate(2) != 1 {
+		t.Fatalf("Rate(2) = %v", s.Rate(2))
+	}
+	if s.Rate(3) != 0 {
+		t.Fatal("past-end bucket should be 0")
+	}
+	// Zero bucket width must not divide by zero or bin at all.
+	z := NewSeries(0, 0)
+	z.Add(sim.Second)
+	if len(z.Counts) != 0 {
+		t.Fatal("zero-width series accepted a sample")
 	}
 }
 

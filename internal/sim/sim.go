@@ -366,3 +366,44 @@ func (w *World) RunUntil(t Time) {
 
 // RunFor advances the simulation by virtual duration d.
 func (w *World) RunFor(d Time) { w.RunUntil(w.now + d) }
+
+// RunUntilLimited is RunUntil with an event budget: it stops after
+// dispatching at most maxSteps events even if the time boundary has not
+// been reached, reporting the number of events dispatched and whether the
+// budget ran out. Unlike SetStepLimit it does not panic, so callers (e.g.
+// the systematic fault explorer) can turn a runaway schedule into a
+// reported liveness failure instead of a crash. maxSteps == 0 means
+// unlimited.
+func (w *World) RunUntilLimited(t Time, maxSteps uint64) (steps uint64, hitLimit bool) {
+	if w.running {
+		panic("sim: reentrant Run")
+	}
+	w.running = true
+	defer func() { w.running = false }()
+	for len(w.events) > 0 {
+		if maxSteps > 0 && steps >= maxSteps {
+			return steps, true
+		}
+		root := w.events[0]
+		if root.dead {
+			heap.Pop(&w.events)
+			w.dead--
+			w.recycle(root)
+			continue
+		}
+		if root.at > t {
+			break
+		}
+		w.Step()
+		steps++
+	}
+	if w.now < t {
+		w.now = t
+	}
+	return steps, false
+}
+
+// RunForLimited advances by up to d of virtual time within an event budget.
+func (w *World) RunForLimited(d Time, maxSteps uint64) (steps uint64, hitLimit bool) {
+	return w.RunUntilLimited(w.now+d, maxSteps)
+}

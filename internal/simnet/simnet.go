@@ -164,21 +164,42 @@ func (n *Network) deliverable(src, dst *Node) bool {
 	return true
 }
 
+// reapDropped tells the caller of a dropped RPC envelope that its call will
+// never complete. With a timeout armed the pending entry reports through the
+// timer as before; without one (timeout == 0) the entry would otherwise
+// outlive the drop forever — the caller's pending map entry and callback
+// closure leaking for the node's lifetime.
+func (n *Network) reapDropped(src *Node, to NodeID, env envelope) {
+	switch env.kind {
+	case envRequest:
+		if src != nil {
+			src.failPending(env.id)
+		}
+	case envResponse:
+		if dst := n.nodes[to]; dst != nil {
+			dst.failPending(env.id)
+		}
+	}
+}
+
 // send schedules delivery of env from src to dst subject to faults at both
 // send and delivery time.
 func (n *Network) send(src *Node, to NodeID, env envelope) {
 	n.Sent++
 	if src != nil && (!src.up || src.unplugged) {
 		n.Dropped++
+		n.reapDropped(src, to, env)
 		return
 	}
 	dst := n.nodes[to]
 	if dst == nil {
 		n.Dropped++
+		n.reapDropped(src, to, env)
 		return
 	}
 	if n.loss > 0 && n.rng.Bool(n.loss) {
 		n.Dropped++
+		n.reapDropped(src, to, env)
 		return
 	}
 	delay := n.latency.draw(n.rng)
@@ -198,6 +219,7 @@ func (n *Network) send(src *Node, to NodeID, env envelope) {
 	n.world.After(delay, "deliver:"+string(to), func() {
 		if !n.deliverable(src, dst) {
 			n.Dropped++
+			n.reapDropped(src, to, env)
 			return
 		}
 		n.Delivered++
@@ -241,8 +263,32 @@ func (nd *Node) Send(to NodeID, msg any) {
 	nd.net.send(nd, to, envelope{kind: envOneway, payload: msg})
 }
 
-// Call issues an RPC. cb runs exactly once: with the response, or with
-// ErrTimeout after the deadline, or never if this node crashes first.
+// PendingCalls returns the number of outstanding RPCs awaiting a response
+// (diagnostics and leak tests).
+func (nd *Node) PendingCalls() int { return len(nd.pending) }
+
+// failPending reports a dropped request or response to a pending call that
+// has no timeout timer. Timer-armed calls keep their original semantics
+// (the timeout fires later); zero-timeout calls would otherwise leak their
+// pending entry — and never learn of the drop — for the node's lifetime.
+func (nd *Node) failPending(id uint64) {
+	pc, ok := nd.pending[id]
+	if !ok || pc.timer != nil {
+		return
+	}
+	delete(nd.pending, id)
+	gen := nd.gen
+	nd.net.world.Defer("rpc-drop:"+string(nd.id), func() {
+		if nd.up && nd.gen == gen {
+			pc.cb(nil, ErrTimeout)
+		}
+	})
+}
+
+// Call issues an RPC. cb runs exactly once: with the response; with
+// ErrTimeout after the deadline (or, for zero-timeout calls, as soon as the
+// request or its response is provably dropped); or never if this node
+// crashes first.
 func (nd *Node) Call(to NodeID, req any, timeout sim.Time, cb func(resp any, err error)) {
 	if !nd.up {
 		// Local process is dead; nothing can run a callback meaningfully.
@@ -278,7 +324,12 @@ func (nd *Node) deliver(from NodeID, env envelope) {
 	case envRequest:
 		rh, ok := nd.handler.(RequestHandler)
 		if !ok {
-			return // node does not serve RPCs; request times out at caller
+			// Node does not serve RPCs; the request times out at the caller.
+			// A zero-timeout caller has no timer to fire, so reap its entry.
+			if src := nd.net.nodes[from]; src != nil {
+				src.failPending(env.id)
+			}
+			return
 		}
 		replied := false
 		gen := nd.gen

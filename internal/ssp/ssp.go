@@ -282,8 +282,16 @@ func (c *Client) Put(key Key, data []byte, size int64, cb func(err error)) {
 			cb(firstErr)
 		}
 	}
+	// Size the store timeout to the object, as getRemote does for fetches: a
+	// dropped request for a small journal batch must fail (and be retried by
+	// the caller) in seconds, not stall a commit pipeline for the flat
+	// worst-case window an image-sized transfer needs.
+	putTimeout := 10*sim.Second + sim.Time(float64(size)/50e6*float64(sim.Second))
+	if putTimeout > c.timeout {
+		putTimeout = c.timeout
+	}
 	for _, target := range targets {
-		c.host.Call(target, storeReq{Key: key, Data: data, Size: size}, c.timeout,
+		c.host.Call(target, storeReq{Key: key, Data: data, Size: size}, putTimeout,
 			func(resp any, err error) {
 				if err != nil {
 					finish(err)

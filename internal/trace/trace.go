@@ -23,6 +23,7 @@ const (
 	KindRenew     Kind = "renew"     // junior renewing milestones
 	KindCoord     Kind = "coord"     // coordination-service events (session expiry, watch)
 	KindMapReduce Kind = "mapreduce" // task lifecycle events
+	KindCheck     Kind = "check"     // invariant-checker verdicts (internal/check)
 )
 
 // Event is one timestamped record.
@@ -46,13 +47,25 @@ func (e Event) String() string {
 // Log collects events in emission order (which equals virtual-time order,
 // because the simulation is single-threaded).
 type Log struct {
-	world  *sim.World
-	events []Event
-	subs   []func(Event)
+	world        *sim.World
+	events       []Event
+	subs         []func(Event)
+	dispatchOnly map[Kind]bool
 }
 
 // New returns an empty log bound to the world's clock.
 func New(w *sim.World) *Log { return &Log{world: w} }
+
+// DispatchOnly marks a kind as delivered to subscribers but not retained in
+// the log. High-volume instrumentation (per-batch journal appends under
+// Params.TraceAppends) would otherwise dominate the log's memory on long
+// loaded runs whose consumers are purely subscription-based monitors.
+func (l *Log) DispatchOnly(k Kind) {
+	if l.dispatchOnly == nil {
+		l.dispatchOnly = map[Kind]bool{}
+	}
+	l.dispatchOnly[k] = true
+}
 
 // Emit appends an event at the current virtual time. Args are optional
 // alternating key/value string pairs.
@@ -67,7 +80,9 @@ func (l *Log) Emit(kind Kind, node, what string, args ...string) {
 			ev.Args[args[i]] = args[i+1]
 		}
 	}
-	l.events = append(l.events, ev)
+	if !l.dispatchOnly[kind] {
+		l.events = append(l.events, ev)
+	}
 	for _, s := range l.subs {
 		s(ev)
 	}

@@ -11,4 +11,8 @@ go test ./...
 # The race build runs ~10x slower; the experiments suite needs more than the
 # default 10m test timeout on small machines.
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
+go test -race -timeout 40m ./internal/mams/...
+# Bounded systematic invariant sweep: crash-only single faults over a small
+# scope (7 schedules) — a smoke test for the full `mamscheck run` matrix.
+go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -q
 echo "check: OK"
