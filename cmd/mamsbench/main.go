@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"mams/internal/experiments"
+	"mams/internal/obs"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "concurrent experiment trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsOut  = flag.String("metrics-out", "", "write figure7's merged system metrics (Prometheus text) to this file")
+		spansOut    = flag.String("spans-out", "", "write figure7's first-trial protocol spans (Chrome trace JSON) to this file")
 	)
 	flag.Parse()
 
@@ -81,7 +84,24 @@ func main() {
 		case "table1":
 			fmt.Println(experiments.TableI(opts, nil).Table)
 		case "figure7":
-			fmt.Println(experiments.Figure7(opts).Table)
+			f7 := experiments.Figure7(opts)
+			fmt.Println(f7.Table)
+			if *metricsOut != "" {
+				if err := writeFile(*metricsOut, func(f *os.File) error {
+					return obs.WritePrometheus(f, f7.Registry)
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if *spansOut != "" {
+				if err := writeFile(*spansOut, func(f *os.File) error {
+					return obs.WriteChromeTrace(f, f7.Spans)
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "spans-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		case "table2":
 			fmt.Println(experiments.TableII(opts).Table)
 		case "figure8":
@@ -110,4 +130,16 @@ func main() {
 	for _, name := range strings.Split(*exp, ",") {
 		run(strings.TrimSpace(name))
 	}
+}
+
+func writeFile(path string, write func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

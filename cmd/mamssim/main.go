@@ -16,6 +16,7 @@ import (
 
 	"mams/internal/cluster"
 	"mams/internal/metrics"
+	"mams/internal/obs"
 	"mams/internal/sim"
 	"mams/internal/trace"
 	"mams/internal/workload"
@@ -23,13 +24,15 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "mams", "mams|hdfs|backupnode|avatar|hadoopha|boomfs")
-		fault   = flag.String("fault", "crash", "crash|unplug|lockloss (lockloss/unplug: mams only)")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		groups  = flag.Int("groups", 1, "MAMS replica groups")
-		backups = flag.Int("backups", 3, "MAMS backups per group")
-		imageMB = flag.Int64("image-mb", 0, "virtual namespace image size in MB")
-		horizon = flag.Int("horizon", 120, "seconds to observe after the fault")
+		system     = flag.String("system", "mams", "mams|hdfs|backupnode|avatar|hadoopha|boomfs")
+		fault      = flag.String("fault", "crash", "crash|unplug|lockloss (lockloss/unplug: mams only)")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		groups     = flag.Int("groups", 1, "MAMS replica groups")
+		backups    = flag.Int("backups", 3, "MAMS backups per group")
+		imageMB    = flag.Int64("image-mb", 0, "virtual namespace image size in MB")
+		horizon    = flag.Int("horizon", 120, "seconds to observe after the fault")
+		metricsOut = flag.String("metrics-out", "", "write system metrics (Prometheus text format) to this file")
+		spansOut   = flag.String("spans-out", "", "write protocol spans (Chrome trace JSON, Perfetto-loadable) to this file")
 	)
 	flag.Parse()
 
@@ -125,6 +128,45 @@ func main() {
 		fmt.Println("\nno recovery observed in the horizon")
 	}
 	fmt.Printf("operations: %d completed, %d failed\n", drv.Completed(), drv.Failed())
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, env.Obs); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, env.Spans.Spans()); err != nil {
+			fmt.Fprintf(os.Stderr, "spans-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("spans written to %s (load in Perfetto / chrome://tracing)\n", *spansOut)
+	}
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheus(f, reg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSpans(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func interesting(e trace.Event) bool {

@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 
+	"mams/internal/obs"
 	"mams/internal/rng"
 	"mams/internal/sim"
 	"mams/internal/simnet"
@@ -20,6 +21,8 @@ type Env struct {
 	Net   *simnet.Network
 	Trace *trace.Log
 	RNG   *rng.RNG
+	Obs   *obs.Registry
+	Spans *obs.Tracer
 }
 
 // NewEnv builds an environment modeling the paper's testbed LAN: 20-node
@@ -28,9 +31,16 @@ func NewEnv(seed uint64) *Env {
 	w := sim.NewWorld()
 	w.SetStepLimit(500_000_000)
 	tr := trace.New(w)
+	// Span begin/end edges are mirrored into the trace log for subscribers
+	// (live monitors), but the tracer already retains the spans themselves;
+	// retaining the edge events too would double the memory for no reader.
+	tr.DispatchOnly(trace.KindSpan)
 	r := rng.New(seed)
 	net := simnet.New(w, r, simnet.LatencyModel{Base: 200 * sim.Microsecond, Spread: 0.25}, tr)
-	return &Env{World: w, Net: net, Trace: tr, RNG: r}
+	reg := obs.NewRegistry()
+	spans := obs.NewTracer(w, tr)
+	net.SetObs(reg, spans)
+	return &Env{World: w, Net: net, Trace: tr, RNG: r, Obs: reg, Spans: spans}
 }
 
 // RunFor advances virtual time.

@@ -1,10 +1,12 @@
 package cluster_test
 
 import (
+	"bytes"
 	"testing"
 
 	"mams/internal/cluster"
 	"mams/internal/mams"
+	"mams/internal/obs"
 	"mams/internal/sim"
 	"mams/internal/workload"
 )
@@ -240,4 +242,43 @@ func TestVerifyGroupAfterChurnConverges(t *testing.T) {
 	}
 	stop()
 	t.Fatalf("never converged: %s", c.VerifyGroup(0))
+}
+
+// TestSeededRunsDumpIdentically pins determinism end to end: two runs with
+// the same seed must produce byte-identical trace dumps and byte-identical
+// exporter output (Prometheus text and Chrome trace JSON). This is the
+// guarantee that makes golden-file comparisons and seed-reported bugs
+// reproducible.
+func TestSeededRunsDumpIdentically(t *testing.T) {
+	run := func() (dump, prom, spans string) {
+		env := cluster.NewEnv(31)
+		sys := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2}).AsSystem()
+		if !sys.AwaitReady(60 * sim.Second) {
+			t.Fatal("system never became ready")
+		}
+		sys.CrashPrimary()
+		env.RunFor(30 * sim.Second)
+		var pb, cb bytes.Buffer
+		if err := obs.WritePrometheus(&pb, env.Obs); err != nil {
+			t.Fatalf("prometheus export: %v", err)
+		}
+		if err := obs.WriteChromeTrace(&cb, env.Spans.Spans()); err != nil {
+			t.Fatalf("chrome trace export: %v", err)
+		}
+		return env.Trace.Dump(), pb.String(), cb.String()
+	}
+	d1, p1, s1 := run()
+	d2, p2, s2 := run()
+	if d1 == "" || p1 == "" || s1 == "" {
+		t.Fatal("empty dump or export")
+	}
+	if d1 != d2 {
+		t.Error("trace dumps differ between identically-seeded runs")
+	}
+	if p1 != p2 {
+		t.Error("prometheus exports differ between identically-seeded runs")
+	}
+	if s1 != s2 {
+		t.Error("chrome trace exports differ between identically-seeded runs")
+	}
 }

@@ -2,7 +2,9 @@ package coord
 
 import (
 	"hash/fnv"
+	"strings"
 
+	"mams/internal/obs"
 	"mams/internal/paxos"
 	"mams/internal/sim"
 	"mams/internal/simnet"
@@ -84,6 +86,12 @@ type Server struct {
 	lastLeadMsg sim.Time
 	internalSeq uint64
 	idHash      uint64
+
+	// Observability (nil-safe no-ops without a registry on the network).
+	obsWatchFires   *obs.Counter
+	obsSessExpiries *obs.Counter
+	obsLockAcquired *obs.Counter
+	obsLockReleased *obs.Counter
 }
 
 // NewServer creates an ensemble member and registers it on the network.
@@ -102,6 +110,15 @@ func NewServer(net *simnet.Network, cfg ServerConfig, log *trace.Log) *Server {
 	h.Write([]byte(cfg.ID))
 	s.idHash = h.Sum64()
 	s.node = net.AddNode(cfg.ID, s)
+	reg, me := net.Obs(), string(cfg.ID)
+	s.obsWatchFires = reg.Counter("mams_coord_watch_fires_total",
+		"Watch notifications delivered by this ensemble member while leading.", "node", me)
+	s.obsSessExpiries = reg.Counter("mams_coord_session_expiries_total",
+		"Client sessions expired by this ensemble member while leading.", "node", me)
+	s.obsLockAcquired = reg.Counter("mams_coord_lock_acquired_total",
+		"Group lock znodes created (applied on this member).", "node", me)
+	s.obsLockReleased = reg.Counter("mams_coord_lock_released_total",
+		"Group lock znodes removed, by explicit delete or session expiry (applied on this member).", "node", me)
 	peers := make([]string, len(cfg.Ensemble))
 	for i, p := range cfg.Ensemble {
 		peers[i] = string(p)
@@ -197,6 +214,7 @@ func (s *Server) checkSessions() {
 				s.log.Emit(trace.KindCoord, string(s.cfg.ID), "session-expire",
 					"session", itoa(id), "client", string(sess.clientNode))
 			}
+			s.obsSessExpiries.Inc()
 			op := &Op{ReqID: s.nextInternalReq(), Kind: opExpireSession, Session: id}
 			s.replica.Propose(op)
 			delete(s.lastHeard, id) // avoid re-proposing every scan
@@ -218,6 +236,7 @@ func (s *Server) onApply(slot uint64, v any) {
 		return // paxos.Noop gap filler
 	}
 	res, fired := s.sm.apply(op)
+	s.countLockTransition(op, res, fired)
 	if reply, mine := s.pending[op.ReqID]; mine {
 		delete(s.pending, op.ReqID)
 		reply(clientResponse{Res: *res})
@@ -228,7 +247,28 @@ func (s *Server) onApply(slot uint64, v any) {
 				s.log.Emit(trace.KindCoord, string(s.cfg.ID), "watch-fire",
 					"to", string(fw.client), "path", fw.event.Path, "type", fw.event.Type.String())
 			}
+			s.obsWatchFires.Inc()
 			s.node.Send(fw.client, fw.event)
+		}
+	}
+}
+
+// countLockTransition tracks MAMS group lock hand-offs from the znode
+// stream: a lock path is created by the winner of an election and removed
+// by an explicit delete or by the owner's session expiring (its ephemerals
+// die with it — detected via the fired delete events).
+func (s *Server) countLockTransition(op *Op, res *Result, fired []firedWatch) {
+	switch {
+	case op.Kind == opCreate && res.Err == "" && strings.HasSuffix(op.Path, "/lock"):
+		s.obsLockAcquired.Inc()
+	case op.Kind == opDelete && res.Err == "" && strings.HasSuffix(op.Path, "/lock"):
+		s.obsLockReleased.Inc()
+	case op.Kind == opExpireSession:
+		for _, fw := range fired {
+			if fw.event.Type == EventDeleted && strings.HasSuffix(fw.event.Path, "/lock") {
+				s.obsLockReleased.Inc()
+				break
+			}
 		}
 	}
 }

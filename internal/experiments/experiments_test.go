@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"mams/internal/cluster"
 	"mams/internal/mams"
 	"mams/internal/sim"
 )
@@ -262,5 +263,37 @@ func TestFigure9Shape(t *testing.T) {
 	}
 	if res.MapImprovementPct <= 0 {
 		t.Errorf("map improvement = %.2f%%, want > 0", res.MapImprovementPct)
+	}
+}
+
+// TestFigure7SpansMatchEvents is the cross-check promised in figure7.go:
+// the span-derived stage boundaries must equal the legacy event-mined ones,
+// because span Begin/End calls sit in the same callbacks that emit the
+// election/failover trace events.
+func TestFigure7SpansMatchEvents(t *testing.T) {
+	opts := quick()
+	sb := systemBuilder{"MAMS-1A3S", func(env *cluster.Env) cluster.System {
+		return cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 3}).AsSystem()
+	}}
+	checked := 0
+	for trial := 0; trial < 3; trial++ {
+		mttr, env, faultAt, col := mttrTrial(opts.Seed*10000+700+uint64(trial)+1, sb, 30*sim.Second, opts)
+		if mttr == 0 || col == nil {
+			continue
+		}
+		fromSpans := stagesFromSpans(env.Spans, faultAt)
+		fromEvents := stagesFromTrace(env.Trace, faultAt)
+		if fromSpans.electionStart != fromEvents.electionStart ||
+			fromSpans.electionWon != fromEvents.electionWon ||
+			fromSpans.switchDone != fromEvents.switchDone {
+			t.Fatalf("trial %d: spans %+v != events %+v", trial, fromSpans, fromEvents)
+		}
+		if fromSpans.electionStart == 0 || fromSpans.electionWon == 0 || fromSpans.switchDone == 0 {
+			t.Fatalf("trial %d: missing stage boundary: %+v", trial, fromSpans)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no trial produced a complete failover")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mams/internal/cluster"
+	"mams/internal/obs"
 	"mams/internal/sim"
 	"mams/internal/trace"
 )
@@ -17,15 +18,23 @@ type Figure7Trial struct {
 	Detection    sim.Time // the excluded session-timeout portion
 }
 
-// Figure7Result carries the per-trial stage breakdown.
+// Figure7Result carries the per-trial stage breakdown plus the aggregated
+// observability data: the registries of every successful trial merged in
+// trial order, and the span tree of the first successful trial (one full
+// causal failover trace, exportable as a Chrome trace via obs).
 type Figure7Result struct {
-	Table  *Table
-	Trials []Figure7Trial
+	Table    *Table
+	Trials   []Figure7Trial
+	Registry *obs.Registry
+	Spans    []obs.Span
 }
 
 // Figure7 reproduces "The proportion of failover time at each stage in
 // MAMS": active election, active-standby switching and client reconnection,
-// excluding the (default 5 s) session timeout.
+// excluding the (default 5 s) session timeout. Stage boundaries are derived
+// from the causal protocol spans (obs.Tracer), which begin and end in the
+// same callbacks that emit the legacy election/failover trace events — the
+// numbers are identical to event mining (see TestFigure7SpansMatchEvents).
 func Figure7(opts Options) Figure7Result {
 	opts.Defaults()
 	res := Figure7Result{}
@@ -46,12 +55,14 @@ func Figure7(opts Options) Figure7Result {
 	base := opts.Seed*10000 + 700
 	trials := make([]Figure7Trial, opts.Trials)
 	ok := make([]bool, opts.Trials)
+	regs := make([]*obs.Registry, opts.Trials)
+	spans := make([][]obs.Span, opts.Trials)
 	forEachCell(opts, opts.Trials, func(trial int) {
 		mttr, env, faultAt, col := mttrTrial(base+uint64(trial)+1, sb, 30*sim.Second, opts)
 		if mttr == 0 || col == nil {
 			return
 		}
-		tr := stagesFromTrace(env.Trace, faultAt)
+		tr := stagesFromSpans(env.Spans, faultAt)
 		// First client success after the switch completes.
 		if tr.switchDone > 0 {
 			for _, r := range col.Results {
@@ -73,10 +84,22 @@ func Figure7(opts Options) Figure7Result {
 		}
 		ft.Total = ft.Election + ft.Switching + ft.Reconnection
 		trials[trial], ok[trial] = ft, true
+		regs[trial], spans[trial] = env.Obs, env.Spans.Spans()
 	})
 	for trial := 0; trial < opts.Trials; trial++ {
 		if !ok[trial] {
 			continue
+		}
+		// Aggregate observability in trial order (not completion order) so
+		// the merged registry is deterministic at any parallelism.
+		if res.Registry == nil {
+			res.Registry = obs.NewRegistry()
+		}
+		if err := res.Registry.Merge(regs[trial]); err != nil {
+			panic(fmt.Sprintf("figure7: registry merge: %v", err))
+		}
+		if res.Spans == nil {
+			res.Spans = spans[trial]
 		}
 		ft := trials[trial]
 		res.Trials = append(res.Trials, ft)
@@ -108,7 +131,25 @@ type failoverStamps struct {
 	firstSuccess  sim.Time
 }
 
-// stagesFromTrace mines the failover stage boundaries after faultAt.
+// stagesFromSpans reads the failover stage boundaries from the causal span
+// tree: the first election begun after the fault, its winning end, and the
+// enclosing failover span's completion.
+func stagesFromSpans(spans *obs.Tracer, faultAt sim.Time) failoverStamps {
+	var out failoverStamps
+	if sp, found := spans.EarliestStart("election", faultAt); found {
+		out.electionStart = sp.Start
+	}
+	if sp, found := spans.EarliestEnd("election", faultAt, "outcome", "won"); found {
+		out.electionWon = sp.End
+	}
+	if sp, found := spans.EarliestEnd("failover", faultAt, "outcome", "switch-done"); found {
+		out.switchDone = sp.End
+	}
+	return out
+}
+
+// stagesFromTrace mines the same boundaries from the legacy trace events.
+// Kept as the independent cross-check for the span-derived numbers.
 func stagesFromTrace(tr *trace.Log, faultAt sim.Time) failoverStamps {
 	var out failoverStamps
 	for _, e := range tr.Events() {

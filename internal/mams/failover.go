@@ -26,6 +26,7 @@ func (s *Server) onLockGone() {
 
 func (s *Server) onDeposedByLockLoss() {
 	s.emit(trace.KindFailover, "active-lost-lock", "epoch", fmt.Sprint(s.view.Epoch))
+	s.endReplSpans("abandoned-lock-loss")
 	dirty := s.deposedDirty()
 	if s.batchTimer != nil {
 		s.batchTimer.Stop()
@@ -67,6 +68,10 @@ func (s *Server) maybeElect() {
 	}
 	s.electing = s.node.World().Now()
 	s.emit(trace.KindElection, "election-start", "role", s.role.String())
+	s.obsElectStarted.Inc()
+	me := string(s.cfg.ID)
+	s.failoverSpan = s.spans.Begin("failover", me, 0, "role", s.role.String())
+	s.electionSpan = s.spans.Begin("election", me, s.failoverSpan, "role", s.role.String())
 	s.node.After(s.electionJitter(), "mams-election-jitter", s.tryAcquireLock)
 }
 
@@ -90,11 +95,13 @@ func (s *Server) electionJitter() sim.Time {
 func (s *Server) tryAcquireLock() {
 	if s.role == RoleActive || s.upgrading || s.stopped {
 		s.electing = 0
+		s.endElectionSpans("abandoned")
 		return
 	}
 	// A junior yields while any standby remains (Algorithm 1 branch).
 	if s.role == RoleJunior && len(s.view.Standbys()) > 0 {
 		s.electing = 0
+		s.endElectionSpans("yielded")
 		s.coordCli.Exists(lockPath(s.cfg.Group), true, func(bool, error) {})
 		return
 	}
@@ -103,6 +110,8 @@ func (s *Server) tryAcquireLock() {
 			// Lost the race: events will notify others to stop competing.
 			s.electing = 0
 			s.emit(trace.KindElection, "election-lost")
+			s.obsElectLost.Inc()
+			s.endElectionSpans("lost")
 			s.coordCli.Exists(lockPath(s.cfg.Group), true, func(bool, error) {})
 			return
 		}
@@ -113,6 +122,9 @@ func (s *Server) tryAcquireLock() {
 		}
 		s.emit(trace.KindElection, "election-won", "waited",
 			fmt.Sprint((s.node.World().Now() - s.electing).Milliseconds()))
+		s.obsElectWon.Inc()
+		s.spans.End(s.electionSpan, "outcome", "won")
+		s.electionSpan = 0
 		s.runUpgrade()
 	})
 }
@@ -124,8 +136,11 @@ func (s *Server) runUpgrade() {
 	s.electing = 0
 	s.emit(trace.KindFailover, "upgrade-start", "sn", fmt.Sprint(s.effectiveSN()))
 	// Step 1: visit the global view and check our own state.
+	s.stageSpan = s.spans.Begin("stage-view-check", string(s.cfg.ID), s.failoverSpan)
 	s.refreshView(func() {
 		me := string(s.cfg.ID)
+		s.spans.End(s.stageSpan, "role", s.view.States[me].String())
+		s.stageSpan = 0
 		if s.view.States[me] == RoleJunior && len(s.view.Standbys()) > 0 {
 			// A hot standby exists; a junior must stop upgrading and give
 			// up the lock so re-election picks the standby.
@@ -137,7 +152,12 @@ func (s *Server) runUpgrade() {
 			// Junior takeover (no standbys left): recover what the pool
 			// has before serving — "it ensures the continuity of metadata
 			// service even if no standbys are in the global view".
-			s.juniorCatchupFromSSP(func() { s.commitCachedAndFlip() })
+			s.stageSpan = s.spans.Begin("stage-junior-catchup", me, s.failoverSpan)
+			s.juniorCatchupFromSSP(func() {
+				s.spans.End(s.stageSpan, "sn", fmt.Sprint(s.log.LastSN()))
+				s.stageSpan = 0
+				s.commitCachedAndFlip()
+			})
 			return
 		}
 		s.commitCachedAndFlip()
@@ -146,10 +166,12 @@ func (s *Server) runUpgrade() {
 
 func (s *Server) abortUpgrade() {
 	s.upgrading = false
+	s.endElectionSpans("aborted")
 	for _, qo := range s.upgradeQueue {
 		qo.reply(OpReply{NotActive: true})
 	}
 	s.upgradeQueue = nil
+	s.obsBuffered.Set(0)
 	s.coordCli.Delete(lockPath(s.cfg.Group), -1, func(error) {
 		s.coordCli.Exists(lockPath(s.cfg.Group), true, func(bool, error) {})
 	})
@@ -158,15 +180,18 @@ func (s *Server) abortUpgrade() {
 // commitCachedAndFlip performs steps 2-6: commit cached journals, flip the
 // global view, re-flush the journal tail, wait for registrations, serve.
 func (s *Server) commitCachedAndFlip() {
+	me := string(s.cfg.ID)
 	// Step 2: apply cached (prepared but uncommitted) journals.
+	s.stageSpan = s.spans.Begin("stage-commit-cached", me, s.failoverSpan)
 	s.node.After(s.cfg.Params.SwitchCommitCost, "mams-switch-commit", func() {
 		if s.pendingBatch != nil {
 			s.commitPending()
 		}
 		s.emit(trace.KindFailover, "cached-committed", "sn", fmt.Sprint(s.log.LastSN()))
+		s.spans.End(s.stageSpan, "sn", fmt.Sprint(s.log.LastSN()))
 		// Step 3: modify the global view (previous active is refused by
 		// all nodes from this moment).
-		me := string(s.cfg.ID)
+		s.stageSpan = s.spans.Begin("stage-view-flip", me, s.failoverSpan)
 		s.casView(func(v *View) bool {
 			prev := v.Active
 			v.Epoch++
@@ -187,15 +212,26 @@ func (s *Server) commitCachedAndFlip() {
 			}
 			epoch := s.view.Epoch
 			s.emit(trace.KindFailover, "view-flipped", "epoch", fmt.Sprint(epoch))
+			s.spans.End(s.stageSpan, "epoch", fmt.Sprint(epoch))
 			// Step 4: re-flush the last cached journals to the replica
 			// group; receivers deduplicate by sn.
+			s.stageSpan = s.spans.Begin("stage-reflush", me, s.failoverSpan)
 			s.node.After(s.cfg.Params.SwitchStateCost, "mams-switch-state", func() {
 				s.reflushTail(epoch)
+				s.spans.End(s.stageSpan, "sn", fmt.Sprint(s.log.LastSN()))
 				// Step 5: collect registrations (Register handler runs
 				// concurrently); step 6 after the registration window.
+				s.stageSpan = s.spans.Begin("stage-registration", me, s.failoverSpan)
 				s.node.After(s.cfg.Params.RegistrationWait, "mams-registration-wait", func() {
+					s.spans.End(s.stageSpan)
+					// Step 6: switch to active duty and drain the buffer.
+					s.stageSpan = s.spans.Begin("stage-become-active", me, s.failoverSpan)
 					s.becomeActiveNow(epoch)
+					s.spans.End(s.stageSpan)
+					s.stageSpan = 0
 					s.emit(trace.KindFailover, "switch-done", "epoch", fmt.Sprint(epoch))
+					s.spans.End(s.failoverSpan, "outcome", "switch-done", "epoch", fmt.Sprint(epoch))
+					s.failoverSpan = 0
 				})
 			})
 		})
@@ -217,6 +253,7 @@ func (s *Server) reflushTail(epoch uint64) {
 			continue
 		}
 		for _, b := range batches {
+			s.obsReflushed.Inc()
 			s.node.Send(m, AppendBatch{From: s.cfg.ID, Epoch: epoch, Batch: b,
 				CommitThrough: b.SN - 1, FlushOnly: true})
 		}

@@ -185,6 +185,8 @@ func (s *Server) onRenewStart(m RenewStart) {
 	s.renewActive = m.From
 	s.emit(trace.KindRenew, "renewing", "from", string(m.From),
 		"mysn", fmt.Sprint(s.log.LastSN()), "activesn", fmt.Sprint(m.ActiveSN))
+	s.renewSpan = s.spans.Begin("renew", string(s.cfg.ID), 0,
+		"from", string(m.From), "mysn", fmt.Sprint(s.log.LastSN()), "activesn", fmt.Sprint(m.ActiveSN))
 	gap := m.ActiveSN - s.log.LastSN()
 	if m.ActiveSN < s.log.LastSN() {
 		gap = 0
@@ -200,22 +202,32 @@ func (s *Server) onRenewStart(m RenewStart) {
 func (s *Server) fetchRenewImage(imageSN uint64) {
 	key := ssp.Key{Group: s.cfg.Group, Kind: ssp.KindImage, Seq: imageSN}
 	s.emit(trace.KindRenew, "image-fetch", "sn", fmt.Sprint(imageSN))
+	s.renewFetchSpan = s.spans.Begin("renew-image-fetch", string(s.cfg.ID), s.renewSpan,
+		"sn", fmt.Sprint(imageSN))
 	s.sspc.Get(key, func(data []byte, size int64, err error) {
 		if !s.renewing || s.role != RoleJunior {
+			s.spans.End(s.renewFetchSpan, "outcome", "stale")
+			s.renewFetchSpan = 0
 			return
 		}
 		if err != nil {
+			s.spans.End(s.renewFetchSpan, "outcome", "error")
+			s.renewFetchSpan = 0
 			s.pullRenewJournal() // journal-only fallback
 			return
 		}
 		tree, lerr := loadImage(data)
 		if lerr != nil {
+			s.spans.End(s.renewFetchSpan, "outcome", "decode-error")
+			s.renewFetchSpan = 0
 			s.pullRenewJournal()
 			return
 		}
 		s.tree = tree
 		s.log.ResetTo(imageSN, s.view.Epoch)
 		s.emit(trace.KindRenew, "image-loaded", "sn", fmt.Sprint(imageSN))
+		s.spans.End(s.renewFetchSpan, "outcome", "loaded", "bytes", fmt.Sprint(size))
+		s.renewFetchSpan = 0
 		s.pullRenewJournal()
 	})
 }
@@ -227,6 +239,10 @@ func (s *Server) pullRenewJournal() {
 	if !s.renewing || s.role != RoleJunior || s.stopped {
 		return
 	}
+	if s.renewCatchupSpan == 0 && s.renewSpan != 0 {
+		s.renewCatchupSpan = s.spans.Begin("renew-catchup", string(s.cfg.ID), s.renewSpan,
+			"fromsn", fmt.Sprint(s.log.LastSN()))
+	}
 	req := RenewJournalReq{From: s.cfg.ID, FromSN: s.log.LastSN(), Max: s.cfg.Params.RenewJournalChunk}
 	s.node.Call(s.renewActive, req, 5*sim.Second, func(resp any, err error) {
 		if !s.renewing || s.role != RoleJunior {
@@ -236,11 +252,13 @@ func (s *Server) pullRenewJournal() {
 			// Active unreachable (possibly failed over); retry later —
 			// the new active will start a fresh session.
 			s.renewing = false
+			s.endRenewSpans("active-unreachable")
 			return
 		}
 		r, ok := resp.(RenewJournalResp)
 		if !ok {
 			s.renewing = false
+			s.endRenewSpans("bad-response")
 			return
 		}
 		if r.NeedImage && r.ImageSN > s.log.LastSN() {

@@ -8,6 +8,7 @@ import (
 	"mams/internal/coord"
 	"mams/internal/journal"
 	"mams/internal/namespace"
+	"mams/internal/obs"
 	"mams/internal/partition"
 	"mams/internal/sim"
 	"mams/internal/simnet"
@@ -62,6 +63,9 @@ type replState struct {
 	needed     map[simnet.NodeID]bool
 	timer      *sim.Timer
 	sspPending bool // SyncSSP mode: pool write not yet durable
+	// span covers this batch's replication round from seal to commit (or
+	// abandonment when the active is deposed mid-round).
+	span obs.SpanID
 	// fencing counts laggard demotions still being written to the
 	// coordination service. The batch must not commit (and the client must
 	// not be acked) until every laggard is durably marked junior: otherwise
@@ -143,6 +147,24 @@ type Server struct {
 	tr         *trace.Log
 	rnd        func() float64 // uniform [0,1) for election jitter
 	stopped    bool
+
+	// Observability. All instruments are nil-safe no-ops when the network
+	// carries no registry, so unit tests need no setup.
+	spans            *obs.Tracer
+	obsSealed        *obs.Counter
+	obsCommitted     *obs.Counter
+	obsReflushed     *obs.Counter
+	obsDups          *obs.Counter
+	obsBuffered      *obs.Gauge
+	obsElectStarted  *obs.Counter
+	obsElectWon      *obs.Counter
+	obsElectLost     *obs.Counter
+	failoverSpan     obs.SpanID
+	electionSpan     obs.SpanID
+	stageSpan        obs.SpanID
+	renewSpan        obs.SpanID
+	renewFetchSpan   obs.SpanID
+	renewCatchupSpan obs.SpanID
 }
 
 // NewServer builds a server and registers its process on the network.
@@ -165,6 +187,24 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 		rnd:           rnd,
 	}
 	s.node = net.AddNode(cfg.ID, s)
+	reg, me := net.Obs(), string(cfg.ID)
+	s.spans = net.Tracer()
+	s.obsSealed = reg.Counter("mams_journal_batches_sealed_total",
+		"Journal batches sealed and sent for replication by an active.", "node", me)
+	s.obsCommitted = reg.Counter("mams_journal_batches_committed_total",
+		"Journal batches fully replicated and committed by an active.", "node", me)
+	s.obsReflushed = reg.Counter("mams_journal_batches_reflushed_total",
+		"Tail batches re-flushed to group members during failover (Fig. 4 step 4).", "node", me)
+	s.obsDups = reg.Counter("mams_journal_dup_suppressed_total",
+		"Duplicate batches suppressed by serial number on a standby.", "node", me)
+	s.obsBuffered = reg.Gauge("mams_failover_buffered_requests",
+		"Client operations buffered while this node upgrades to active (peak via max).", "node", me)
+	s.obsElectStarted = reg.Counter("mams_elections_started_total",
+		"Election attempts triggered by a missing lock or active.", "node", me)
+	s.obsElectWon = reg.Counter("mams_elections_won_total",
+		"Elections this node won (acquired the distributed lock).", "node", me)
+	s.obsElectLost = reg.Counter("mams_elections_lost_total",
+		"Elections this node lost to a faster peer.", "node", me)
 	s.pool = ssp.NewPoolNode(s.node, cfg.SSPParams)
 	s.sspc = ssp.NewClient(s.node, cfg.PoolNodes, s.pool, cfg.Params.SSPReplicas)
 	s.blocks = blockmap.NewManager()
@@ -220,6 +260,7 @@ func (s *Server) emitAppend(sn uint64) {
 
 // emitDup reports a duplicate batch suppressed by its serial number.
 func (s *Server) emitDup(sn uint64) {
+	s.obsDups.Inc()
 	if s.cfg.Params.TraceAppends {
 		s.emit(trace.KindJournal, "append-dup", "sn", fmt.Sprint(sn))
 	}
@@ -247,6 +288,9 @@ func (s *Server) Shutdown() {
 // paper's "server which restarts after a failure".
 func (s *Server) Restart() {
 	s.node.Restart()
+	s.endReplSpans("abandoned-restart")
+	s.endRenewSpans("restart")
+	s.endElectionSpans("restart")
 	s.tree = namespace.New()
 	s.log = journal.NewLog()
 	s.lastTx = 0
@@ -395,6 +439,7 @@ func (s *Server) becomeActiveNow(epoch uint64) {
 	// Serve anything buffered during the upgrade.
 	q := s.upgradeQueue
 	s.upgradeQueue = nil
+	s.obsBuffered.Set(0)
 	for _, qo := range q {
 		s.handleClientOp(qo.from, qo.op, qo.reply)
 	}
@@ -561,6 +606,7 @@ func (s *Server) deposedDirty() bool {
 // directly degraded to the junior state").
 func (s *Server) hardResetToJunior() {
 	s.emit(trace.KindState, "hard-reset-junior", "sn", fmt.Sprint(s.log.LastSN()))
+	s.endRenewSpans("hard-reset")
 	s.tree = namespace.New()
 	s.log = journal.NewLog()
 	s.lastTx = 0
@@ -570,11 +616,40 @@ func (s *Server) hardResetToJunior() {
 	s.role = RoleJunior
 }
 
+// endReplSpans closes the 2PC span of every still-pending batch when this
+// node stops being active (the round will never commit here). End is
+// idempotent and span updates are keyed by id, so map iteration order does
+// not affect the retained span data.
+func (s *Server) endReplSpans(outcome string) {
+	for _, rs := range s.pendingRepl {
+		s.spans.End(rs.span, "outcome", outcome)
+	}
+}
+
+// endRenewSpans closes the junior-side renewing spans (root plus any open
+// image-fetch/catch-up child) when the session ends for any reason.
+func (s *Server) endRenewSpans(outcome string) {
+	s.spans.End(s.renewFetchSpan, "outcome", outcome)
+	s.spans.End(s.renewCatchupSpan, "outcome", outcome)
+	s.spans.End(s.renewSpan, "outcome", outcome)
+	s.renewFetchSpan, s.renewCatchupSpan, s.renewSpan = 0, 0, 0
+}
+
+// endElectionSpans closes the failover/election/stage spans when an election
+// or upgrade terminates without this node becoming active.
+func (s *Server) endElectionSpans(outcome string) {
+	s.spans.End(s.stageSpan, "outcome", outcome)
+	s.spans.End(s.electionSpan, "outcome", outcome)
+	s.spans.End(s.failoverSpan, "outcome", outcome)
+	s.stageSpan, s.electionSpan, s.failoverSpan = 0, 0, 0
+}
+
 // stepDown turns a deposed active into the role the view assigns it. If
 // its state cannot be a valid prefix of the new timeline it resets to
 // junior instead and relies on renewing.
 func (s *Server) stepDown(v View) {
 	s.emit(trace.KindState, "step-down", "epoch", fmt.Sprint(v.Epoch))
+	s.endReplSpans("abandoned-step-down")
 	dirty := s.deposedDirty()
 	if s.batchTimer != nil {
 		s.batchTimer.Stop()
@@ -664,6 +739,9 @@ func (s *Server) onCoordEvent(ev coord.WatchEvent) {
 // ephemerals (lock, alive) are gone and peers have moved on.
 func (s *Server) onSessionExpired() {
 	s.emit(trace.KindState, "session-expired")
+	s.endReplSpans("abandoned-session-expired")
+	s.endRenewSpans("session-expired")
+	s.endElectionSpans("session-expired")
 	wasActive := s.role == RoleActive
 	if wasActive {
 		dirty := s.deposedDirty()
@@ -802,6 +880,7 @@ func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)
 	if s.upgrading {
 		// Fig. 4 step 3: accept and buffer, commit after the upgrade.
 		s.upgradeQueue = append(s.upgradeQueue, queuedOp{from: from, op: op, reply: reply})
+		s.obsBuffered.Set(float64(len(s.upgradeQueue)))
 		return
 	}
 	if s.role != RoleActive {
@@ -957,6 +1036,7 @@ func (s *Server) sealBatch() {
 		return
 	}
 	s.emitAppend(batch.SN)
+	s.obsSealed.Inc()
 	targets := s.replTargets()
 	// Replication + SSP serialization CPU cost on the active.
 	cost := sim.Time(len(targets)) * (s.cfg.Params.ReplPerBatchPerStandby +
@@ -969,6 +1049,8 @@ func (s *Server) sealBatch() {
 	s.busyUntil += cost
 
 	rs := &replState{batch: batch, needed: map[simnet.NodeID]bool{}}
+	rs.span = s.spans.Begin("journal-2pc", string(s.cfg.ID), 0,
+		"sn", fmt.Sprint(batch.SN), "standbys", fmt.Sprint(len(targets)))
 	for _, t := range targets {
 		rs.needed[t] = true
 	}
@@ -1074,6 +1156,8 @@ func (s *Server) tryAdvanceCommit() {
 		}
 		delete(s.pendingRepl, next)
 		s.committedSN = next
+		s.obsCommitted.Inc()
+		s.spans.End(rs.span, "outcome", "committed")
 		advanced = true
 		for _, w := range s.waiters[next] {
 			w(nil)
@@ -1308,6 +1392,7 @@ func (s *Server) onPromote(m Promote) {
 	if s.role == RoleJunior {
 		s.role = RoleStandby
 		s.renewing = false
+		s.endRenewSpans("promoted")
 		if m.LastTx > s.lastTx {
 			s.lastTx = m.LastTx
 		}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON that
+// chrome://tracing and Perfetto load). Field order follows the spec's
+// examples; encoding/json keeps struct order and sorts map keys, so the
+// output is byte-deterministic for a deterministic simulation.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`            // microseconds
+	Dur  *float64          `json:"dur,omitempty"` // microseconds, complete events
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders completed spans as Chrome trace-event JSON: one
+// "X" (complete) event per span, one simulated node per track (tid), with
+// span/parent ids in args so the causal links survive into the viewer. Open
+// spans (crashed mid-protocol, or the run ended) are skipped. Load the
+// output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	// Stable node -> tid assignment: sorted by node name.
+	nodes := map[string]int{}
+	var names []string
+	for _, sp := range spans {
+		if _, ok := nodes[sp.Node]; !ok {
+			nodes[sp.Node] = 0
+			names = append(names, sp.Node)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		nodes[n] = i + 1
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": "mams-sim"}},
+	}}
+	for _, n := range names {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: nodes[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	for _, sp := range spans {
+		if !sp.Done {
+			continue
+		}
+		dur := float64(sp.Duration()) / 1e3 // ns -> us
+		args := map[string]string{"span": itoa(sp.ID), "parent": itoa(sp.Parent)}
+		for k, v := range sp.Args {
+			args[k] = v
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Name, Cat: "mams", Ph: "X",
+			TS: float64(sp.Start) / 1e3, Dur: &dur,
+			PID: 1, TID: nodes[sp.Node], Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mams/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry exercising every instrument kind,
+// label sets, escaping, and float formatting.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("mams_journal_batches_sealed_total", "Journal batches sealed by an active.", "node", "mds-g0-0").Add(42)
+	r.Counter("mams_journal_batches_sealed_total", "Journal batches sealed by an active.", "node", "mds-g0-1").Add(7)
+	r.Counter("mams_net_messages_sent_total", "Messages sent per link.", "src", "a", "dst", "b").Add(1234)
+	g := r.Gauge("mams_failover_buffered_requests", "Client ops buffered during upgrade.", "node", "mds-g0-1")
+	g.Set(9)
+	g.Set(3)
+	h := r.Histogram("mams_ssp_store_seconds", "SSP store latency.", []float64{0.001, 0.01, 0.1, 1}, "node", "mds-g0-0")
+	for _, v := range []float64{0.0005, 0.004, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	r.Gauge("mams_quote_check", `value with "quotes" and \slash`, "k", `v"q\u`).Set(1.5)
+	return r
+}
+
+// goldenSpans builds a fixed span tree: failover root, election + stage
+// children, one open span that must be skipped by the exporter.
+func goldenSpans() []Span {
+	w := sim.NewWorld()
+	tr := NewTracer(w, nil)
+	run := func(d sim.Time) { w.After(d, "t", func() {}); w.Run() }
+
+	run(5 * sim.Second)
+	root := tr.Begin("failover", "mds-g0-1", 0, "epoch", "2")
+	el := tr.Begin("election", "mds-g0-1", root, "role", "standby")
+	run(42 * sim.Millisecond)
+	tr.End(el, "outcome", "won")
+	st := tr.Begin("stage-commit-cached", "mds-g0-1", root)
+	run(90 * sim.Millisecond)
+	tr.End(st, "sn", "17")
+	run(200 * sim.Millisecond)
+	tr.End(root, "outcome", "switch-done")
+	tr.Begin("renew", "mds-g0-2", 0) // left open: exporter must skip it
+	return tr.Spans()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Structural sanity independent of the golden bytes.
+	for _, want := range []string{
+		"# TYPE mams_journal_batches_sealed_total counter",
+		"# TYPE mams_ssp_store_seconds histogram",
+		`mams_ssp_store_seconds_bucket{node="mds-g0-0",le="+Inf"} 5`,
+		"mams_ssp_store_seconds_count{node=\"mds-g0-0\"} 5",
+		`mams_net_messages_sent_total{dst="b",src="a"} 1234`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenSpans()); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON with the expected envelope.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	complete, open := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if ev["name"] == "renew" {
+				open++
+			}
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3 (root + election + stage, no open renew)", complete)
+	}
+	if open != 0 {
+		t.Fatalf("open span leaked into the export")
+	}
+	checkGolden(t, "spans.json.golden", buf.Bytes())
+}
+
+// TestPrometheusDeterministic guards the export ordering: two registries
+// populated in different orders must render byte-identically.
+func TestPrometheusDeterministic(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("mams_b_total", "b", "node", "n2").Inc()
+	a.Counter("mams_a_total", "a").Inc()
+	a.Counter("mams_b_total", "b", "node", "n1").Inc()
+	b := NewRegistry()
+	b.Counter("mams_a_total", "a").Inc()
+	b.Counter("mams_b_total", "b", "node", "n1").Inc()
+	b.Counter("mams_b_total", "b", "node", "n2").Inc()
+	var ba, bb bytes.Buffer
+	if err := WritePrometheus(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatalf("export order depends on registration order:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// metricCall matches the name literal of a registry instrument call, i.e.
+// the first string argument of .Counter( / .Gauge( / .Histogram(.
+var metricCall = regexp.MustCompile(`\.(Counter|Gauge|Histogram)\(\s*"([^"]+)"`)
+
+// TestMetricNameLint walks the whole repository and rejects any registry
+// instrument whose name literal does not match the mams_[a-z0-9_]+
+// convention. The registry also panics at runtime, but the lint catches
+// names on instrumentation paths no test happens to execute.
+func TestMetricNameLint(t *testing.T) {
+	root := filepath.Join("..", "..")
+	bad := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricCall.FindAllSubmatch(src, -1) {
+			name := string(m[2])
+			// Intentionally-bad names inside this package's own tests
+			// (validation tests) are exempt; everything else must conform.
+			if strings.HasSuffix(path, filepath.Join("obs", "registry_test.go")) {
+				continue
+			}
+			if !NamePattern.MatchString(name) {
+				t.Errorf("%s: metric name %q does not match %s", path, name, NamePattern)
+				bad++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if bad == 0 {
+		t.Logf("all registry metric names conform to %s", NamePattern)
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family, then one
+// sample line per child, histograms expanded into cumulative _bucket /
+// _sum / _count series. Output is deterministic: families sort by name,
+// children by canonical label key — so golden tests and diffs are stable.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	for _, name := range r.Names() {
+		f := r.byName[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		children := append([]*child(nil), f.order...)
+		sort.Slice(children, func(i, j int) bool { return children[i].key < children[j].key })
+		for _, ch := range children {
+			if err := writeChild(w, f, ch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, ch *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(ch.labels, "", ""), fnum(ch.c.Value()))
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(ch.labels, "", ""), fnum(ch.g.Value()))
+		return err
+	case kindHistogram:
+		h := ch.h
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelBlock(ch.labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelBlock(ch.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+			f.name, labelBlock(ch.labels, "", ""), fnum(h.sum),
+			f.name, labelBlock(ch.labels, "", ""), h.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelBlock renders {k="v",...} with keys sorted, optionally appending one
+// extra pair (the histogram le label). Empty label sets render as "".
+func labelBlock(pairs []string, extraK, extraV string) string {
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2+1)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	if extraK != "" {
+		kvs = append(kvs, kv{extraK, extraV}) // le conventionally sorts last
+	}
+	if len(kvs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fnum renders a float the way Prometheus clients do: integral values
+// without a decimal point.
+func fnum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mams_test_ops_total", "ops", "node", "a")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	if again := r.Counter("mams_test_ops_total", "ops", "node", "a"); again != c {
+		t.Fatalf("same name+labels must return the same counter")
+	}
+	if other := r.Counter("mams_test_ops_total", "ops", "node", "b"); other == c {
+		t.Fatalf("different labels must return a different child")
+	}
+
+	g := r.Gauge("mams_test_depth", "depth")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 || g.Max() != 4 {
+		t.Fatalf("gauge = %v max %v, want 3 / 4", g.Value(), g.Max())
+	}
+
+	h := r.Histogram("mams_test_latency_seconds", "lat", []float64{0.1, 1}, "node", "a")
+	for _, v := range []float64{0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 5.55 {
+		t.Fatalf("hist count %d sum %v", h.Count(), h.Sum())
+	}
+	if h.counts[0] != 1 || h.counts[1] != 1 || h.counts[2] != 1 {
+		t.Fatalf("bucket counts = %v", h.counts)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("mams_x_total", "x")
+	g := r.Gauge("mams_x", "x")
+	h := r.Histogram("mams_x_seconds", "x", []float64{1})
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("nil instruments must read zero")
+	}
+	if err := r.Merge(NewRegistry()); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+func TestNameValidationPanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"ops_total", "mams_Ops", "mams-ops", "mams_ops total"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q must be rejected", bad)
+				}
+			}()
+			r.Counter(bad, "x")
+		}()
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mams_thing_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("mams_thing_total", "x")
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("mams_c_total", "c", "node", "x").Add(2)
+	b.Counter("mams_c_total", "c", "node", "x").Add(3)
+	b.Counter("mams_c_total", "c", "node", "y").Add(7)
+	a.Gauge("mams_g", "g").Set(5)
+	bg := b.Gauge("mams_g", "g")
+	bg.Set(9)
+	bg.Set(1) // current 1, max 9
+	a.Histogram("mams_h_seconds", "h", []float64{1, 10}).Observe(0.5)
+	b.Histogram("mams_h_seconds", "h", []float64{1, 10}).Observe(5)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if got := a.Counter("mams_c_total", "c", "node", "x").Value(); got != 5 {
+		t.Fatalf("merged counter x = %v, want 5", got)
+	}
+	if got := a.Counter("mams_c_total", "c", "node", "y").Value(); got != 7 {
+		t.Fatalf("merged counter y = %v, want 7", got)
+	}
+	g := a.Gauge("mams_g", "g")
+	if g.Value() != 5 || g.Max() != 9 {
+		t.Fatalf("merged gauge = %v max %v, want 5 / 9", g.Value(), g.Max())
+	}
+	h := a.Histogram("mams_h_seconds", "h", []float64{1, 10})
+	if h.Count() != 2 || h.counts[0] != 1 || h.counts[1] != 1 {
+		t.Fatalf("merged hist count %d buckets %v", h.Count(), h.counts)
+	}
+
+	// Mismatched bounds must fail loudly.
+	c := NewRegistry()
+	c.Histogram("mams_h_seconds", "h", []float64{2, 20}).Observe(1)
+	if err := a.Merge(c); err == nil {
+		t.Fatalf("merge with different bucket bounds must error")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if b[i] < want[i]*0.999 || b[i] > want[i]*1.001 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mams_z_total", "z")
+	r.Counter("mams_a_total", "a")
+	names := r.Names()
+	if strings.Join(names, ",") != "mams_a_total,mams_z_total" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mams/internal/obs"
 	"mams/internal/rng"
 	"mams/internal/sim"
 	"mams/internal/trace"
@@ -99,6 +100,57 @@ type Network struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+
+	// Observability (optional; see SetObs). linkStats caches per-(src,dst)
+	// registry counters so the send hot path pays one map lookup, same as
+	// the FIFO clamp above.
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	linkStats map[[2]NodeID]*linkCounters
+}
+
+// linkCounters are the per-directed-link traffic instruments.
+type linkCounters struct {
+	sent, dropped, timeouts *obs.Counter
+}
+
+// SetObs attaches a metrics registry and span tracer to the network. Both
+// may be nil. Components hosted on this network (mams servers, the ssp
+// client, the coordination ensemble) discover them via Obs and Tracer at
+// construction time, so one call here wires the whole deployment.
+func (n *Network) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	n.reg = reg
+	n.tracer = tracer
+	if reg != nil && n.linkStats == nil {
+		n.linkStats = make(map[[2]NodeID]*linkCounters)
+	}
+}
+
+// Obs returns the attached metrics registry (nil when observability is off;
+// all registry methods are nil-safe).
+func (n *Network) Obs() *obs.Registry { return n.reg }
+
+// Tracer returns the attached span tracer (nil when observability is off;
+// all tracer methods are nil-safe).
+func (n *Network) Tracer() *obs.Tracer { return n.tracer }
+
+// link returns the cached counters for a directed (src, dst) pair, or nil
+// when no registry is attached.
+func (n *Network) link(src, dst NodeID) *linkCounters {
+	if n.reg == nil {
+		return nil
+	}
+	key := [2]NodeID{src, dst}
+	lc := n.linkStats[key]
+	if lc == nil {
+		lc = &linkCounters{
+			sent:     n.reg.Counter("mams_net_messages_sent_total", "Messages handed to the network per directed link.", "src", string(src), "dst", string(dst)),
+			dropped:  n.reg.Counter("mams_net_messages_dropped_total", "Messages dropped (fault, loss, dead endpoint) per directed link.", "src", string(src), "dst", string(dst)),
+			timeouts: n.reg.Counter("mams_net_rpc_timeouts_total", "RPCs that timed out per directed (caller, callee) link.", "src", string(src), "dst", string(dst)),
+		}
+		n.linkStats[key] = lc
+	}
+	return lc
 }
 
 // New creates a network on the given world. log may be nil.
@@ -186,27 +238,32 @@ func (n *Network) reapDropped(src *Node, to NodeID, env envelope) {
 // send and delivery time.
 func (n *Network) send(src *Node, to NodeID, env envelope) {
 	n.Sent++
+	fromID := NodeID("")
+	if src != nil {
+		fromID = src.id
+	}
+	lc := n.link(fromID, to)
+	lc.sentInc()
 	if src != nil && (!src.up || src.unplugged) {
 		n.Dropped++
+		lc.droppedInc()
 		n.reapDropped(src, to, env)
 		return
 	}
 	dst := n.nodes[to]
 	if dst == nil {
 		n.Dropped++
+		lc.droppedInc()
 		n.reapDropped(src, to, env)
 		return
 	}
 	if n.loss > 0 && n.rng.Bool(n.loss) {
 		n.Dropped++
+		lc.droppedInc()
 		n.reapDropped(src, to, env)
 		return
 	}
 	delay := n.latency.draw(n.rng)
-	fromID := NodeID("")
-	if src != nil {
-		fromID = src.id
-	}
 	// FIFO per link: clamp the arrival so it never precedes an earlier
 	// message on the same link.
 	link := [2]NodeID{fromID, to}
@@ -219,12 +276,33 @@ func (n *Network) send(src *Node, to NodeID, env envelope) {
 	n.world.After(delay, "deliver:"+string(to), func() {
 		if !n.deliverable(src, dst) {
 			n.Dropped++
+			lc.droppedInc()
 			n.reapDropped(src, to, env)
 			return
 		}
 		n.Delivered++
 		dst.deliver(fromID, env)
 	})
+}
+
+// sentInc / droppedInc / timeoutInc tolerate a nil receiver (observability
+// off) so the send path stays branch-free at call sites.
+func (lc *linkCounters) sentInc() {
+	if lc != nil {
+		lc.sent.Inc()
+	}
+}
+
+func (lc *linkCounters) droppedInc() {
+	if lc != nil {
+		lc.dropped.Inc()
+	}
+}
+
+func (lc *linkCounters) timeoutInc() {
+	if lc != nil {
+		lc.timeouts.Inc()
+	}
 }
 
 // Node is one simulated process.
@@ -305,6 +383,7 @@ func (nd *Node) Call(to NodeID, req any, timeout sim.Time, cb func(resp any, err
 			}
 			if p, ok := nd.pending[id]; ok && p == pc {
 				delete(nd.pending, id)
+				nd.net.link(nd.id, to).timeoutInc()
 				pc.cb(nil, ErrTimeout)
 			}
 		})

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"sort"
 
+	"mams/internal/obs"
 	"mams/internal/sim"
 	"mams/internal/simnet"
 )
@@ -224,6 +225,14 @@ type Client struct {
 	local   *PoolNode // non-nil when a pool node is co-located with host
 	replica int       // write replication factor
 	timeout sim.Time
+
+	// Observability (nil-safe no-ops without a registry on the network).
+	stores     *obs.Counter
+	storeBytes *obs.Counter
+	fetches    *obs.Counter
+	fetchBytes *obs.Counter
+	timeouts   *obs.Counter
+	storeLat   *obs.Histogram
 }
 
 // NewClient builds a pool client. local may be nil; replica is clamped to
@@ -235,7 +244,23 @@ func NewClient(host *simnet.Node, pools []simnet.NodeID, local *PoolNode, replic
 	if replica > len(pools) {
 		replica = len(pools)
 	}
-	return &Client{host: host, pools: pools, local: local, replica: replica, timeout: 120 * sim.Second}
+	reg, me := host.Net().Obs(), string(host.ID())
+	return &Client{
+		host: host, pools: pools, local: local, replica: replica, timeout: 120 * sim.Second,
+		stores: reg.Counter("mams_ssp_stores_total",
+			"Pool store operations issued by this host.", "node", me),
+		storeBytes: reg.Counter("mams_ssp_store_bytes_total",
+			"Logical bytes written to the pool by this host.", "node", me),
+		fetches: reg.Counter("mams_ssp_fetches_total",
+			"Pool fetch operations issued by this host.", "node", me),
+		fetchBytes: reg.Counter("mams_ssp_fetch_bytes_total",
+			"Logical bytes read from the pool by this host.", "node", me),
+		timeouts: reg.Counter("mams_ssp_rpc_timeouts_total",
+			"Pool RPCs abandoned on timeout by this host.", "node", me),
+		storeLat: reg.Histogram("mams_ssp_store_seconds",
+			"End-to-end pool store latency (all replicas acknowledged).",
+			obs.ExpBuckets(0.001, 10, 5), "node", me),
+	}
 }
 
 // targets picks the replica set for a key: the local node first (cheap
@@ -269,16 +294,25 @@ func (c *Client) Put(key Key, data []byte, size int64, cb func(err error)) {
 		c.host.After(0, "ssp-put-nopool", func() { cb(ErrNoPool) })
 		return
 	}
+	c.stores.Inc()
+	c.storeBytes.Add(float64(size))
+	started := c.host.World().Now()
 	remaining := len(targets)
 	var firstErr error
 	done := false
 	finish := func(err error) {
+		if err == simnet.ErrTimeout {
+			c.timeouts.Inc()
+		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		remaining--
 		if remaining == 0 && !done {
 			done = true
+			if firstErr == nil {
+				c.storeLat.Observe((c.host.World().Now() - started).Seconds())
+			}
 			cb(firstErr)
 		}
 	}
@@ -311,11 +345,18 @@ func (c *Client) Put(key Key, data []byte, size int64, cb func(err error)) {
 // may obtain them locally from the pool") and falling back to remote
 // replicas.
 func (c *Client) Get(key Key, cb func(data []byte, size int64, err error)) {
+	c.fetches.Inc()
+	wrapped := func(data []byte, size int64, err error) {
+		if err == nil {
+			c.fetchBytes.Add(float64(size))
+		}
+		cb(data, size, err)
+	}
 	if c.local != nil && c.local.Has(key) {
-		c.local.LocalGet(key, cb)
+		c.local.LocalGet(key, wrapped)
 		return
 	}
-	c.getRemote(key, 0, cb)
+	c.getRemote(key, 0, wrapped)
 }
 
 func (c *Client) getRemote(key Key, idx int, cb func(data []byte, size int64, err error)) {
@@ -332,6 +373,9 @@ func (c *Client) getRemote(key Key, idx int, cb func(data []byte, size int64, er
 	// in seconds instead of stalling for an image-sized transfer timeout.
 	c.host.Call(target, hasReq{Key: key}, 2*sim.Second, func(resp any, err error) {
 		if err != nil {
+			if err == simnet.ErrTimeout {
+				c.timeouts.Inc()
+			}
 			c.getRemote(key, idx+1, cb)
 			return
 		}
@@ -349,6 +393,9 @@ func (c *Client) getRemote(key Key, idx int, cb func(data []byte, size int64, er
 		}
 		c.host.Call(target, fetchReq{Key: key}, fetchTimeout, func(resp any, err error) {
 			if err != nil {
+				if err == simnet.ErrTimeout {
+					c.timeouts.Inc()
+				}
 				c.getRemote(key, idx+1, cb)
 				return
 			}

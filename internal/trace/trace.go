@@ -5,8 +5,10 @@ package trace
 
 import (
 	"fmt"
-	"mams/internal/sim"
+	"sort"
 	"strings"
+
+	"mams/internal/sim"
 )
 
 // Kind classifies a trace event.
@@ -24,6 +26,7 @@ const (
 	KindCoord     Kind = "coord"     // coordination-service events (session expiry, watch)
 	KindMapReduce Kind = "mapreduce" // task lifecycle events
 	KindCheck     Kind = "check"     // invariant-checker verdicts (internal/check)
+	KindSpan      Kind = "span"      // causal span begin/end edges (internal/obs)
 )
 
 // Event is one timestamped record.
@@ -38,8 +41,15 @@ type Event struct {
 func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%12.4fs %-9s %-14s %s", e.At.Seconds(), e.Kind, e.Node, e.What)
-	for k, v := range e.Args {
-		fmt.Fprintf(&b, " %s=%s", k, v)
+	// Sorted keys: ranging over the map directly made Dump() output differ
+	// run-to-run for identical simulations.
+	keys := make([]string, 0, len(e.Args))
+	for k := range e.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, e.Args[k])
 	}
 	return b.String()
 }

@@ -92,3 +92,53 @@ func TestDumpAndString(t *testing.T) {
 		t.Fatalf("Len = %d", l.Len())
 	}
 }
+
+func TestDispatchOnlyStillReachesSubscribers(t *testing.T) {
+	l := New(sim.NewWorld())
+	l.DispatchOnly(KindSpan)
+	var seen []Event
+	l.Subscribe(func(e Event) { seen = append(seen, e) })
+	l.Emit(KindSpan, "a", "span-begin", "span", "1")
+	l.Emit(KindState, "a", "become-active")
+	if len(seen) != 2 {
+		t.Fatalf("subscriber saw %d events, want 2 (dispatch-only must still dispatch)", len(seen))
+	}
+	if seen[0].What != "span-begin" || seen[1].What != "become-active" {
+		t.Fatalf("seen = %+v", seen)
+	}
+	// Only the retained kind lands in the log itself.
+	if l.Len() != 1 || l.Events()[0].Kind != KindState {
+		t.Fatalf("retained events = %+v", l.Events())
+	}
+	// And the query API agrees: First never finds a dispatch-only event.
+	if l.First(KindSpan, "span-begin", 0) != nil {
+		t.Fatal("First found a dispatch-only event")
+	}
+	if l.First(KindState, "become-active", 0) == nil {
+		t.Fatal("First missed the retained event")
+	}
+}
+
+func TestFirstPastLastEvent(t *testing.T) {
+	w := sim.NewWorld()
+	l := New(w)
+	w.At(sim.Second, "e", func() { l.Emit(KindFailover, "a", "switch-done") })
+	w.Run()
+	// A bound strictly past the final event's timestamp matches nothing.
+	if got := l.First(KindFailover, "switch-done", sim.Second+1); got != nil {
+		t.Fatalf("First past the last event = %+v, want nil", got)
+	}
+	// The bound is inclusive: exactly the last event's time still matches.
+	if l.First(KindFailover, "switch-done", sim.Second) == nil {
+		t.Fatal("First at the last event's exact time should match")
+	}
+}
+
+func TestStringSortsArgs(t *testing.T) {
+	e := Event{Kind: KindJournal, Node: "n", What: "batch",
+		Args: map[string]string{"z": "1", "a": "2", "m": "3"}}
+	s := e.String()
+	if !strings.Contains(s, "a=2 m=3 z=1") {
+		t.Fatalf("args not sorted: %s", s)
+	}
+}

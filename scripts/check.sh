@@ -12,6 +12,19 @@ go test ./...
 # default 10m test timeout on small machines.
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
 go test -race -timeout 40m ./internal/mams/...
+go test -race ./internal/obs/...
+# Exporter smoke run: one failover must produce a non-empty Prometheus dump
+# and a valid (json-decodable) Chrome trace. The byte-level golden checks
+# live in internal/obs (export_test.go) and internal/cluster
+# (TestSeededRunsDumpIdentically); this guards the CLI wiring.
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/mamssim -system mams -fault crash -horizon 20 \
+  -metrics-out "$obsdir/m.prom" -spans-out "$obsdir/s.json" >/dev/null
+grep -q '^mams_failover' "$obsdir/m.prom"
+grep -q '^# TYPE mams_net_messages_sent_total counter$' "$obsdir/m.prom"
+head -c 15 "$obsdir/s.json" | grep -q '^{"traceEvents":'
+grep -q '"name":"failover"' "$obsdir/s.json"
 # Bounded systematic invariant sweep: crash-only single faults over a small
 # scope (7 schedules) — a smoke test for the full `mamscheck run` matrix.
 go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -q
