@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|all")
+		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|all")
 		seed        = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
 		ops         = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
 		trials      = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
@@ -36,6 +37,7 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsOut  = flag.String("metrics-out", "", "write figure7's merged system metrics (Prometheus text) to this file")
 		spansOut    = flag.String("spans-out", "", "write figure7's first-trial protocol spans (Chrome trace JSON) to this file")
+		benchOut    = flag.String("bench-out", "", "write tvl's cells as JSON (commit-path perf trajectory) to this file")
 	)
 	flag.Parse()
 
@@ -108,6 +110,23 @@ func main() {
 			fmt.Println(experiments.Figure8(opts).Table)
 		case "figure9":
 			fmt.Println(experiments.Figure9(opts).Table)
+		case "tvl":
+			tvl := experiments.Tvl(opts)
+			fmt.Println(tvl.Table)
+			fmt.Printf("saturation ops/s: timer-sync=%.0f group-sync=%.0f (%.1fx) group-async=%.0f (%.1fx)\n",
+				tvl.Saturation("timer-sync"),
+				tvl.Saturation("group-sync"), tvl.Saturation("group-sync")/tvl.Saturation("timer-sync"),
+				tvl.Saturation("group-async"), tvl.Saturation("group-async")/tvl.Saturation("timer-sync"))
+			if *benchOut != "" {
+				if err := writeFile(*benchOut, func(f *os.File) error {
+					enc := json.NewEncoder(f)
+					enc.SetIndent("", "  ")
+					return enc.Encode(tvl.Cells)
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		case "ablations":
 			fmt.Println(experiments.AblationStandbys(opts))
 			fmt.Println(experiments.AblationSessionTimeout(opts))
@@ -121,7 +140,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"figure5", "figure6", "table1", "figure7", "table2", "figure8", "figure9", "ablations"} {
+		for _, name := range []string{"figure5", "figure6", "table1", "figure7", "table2", "figure8", "figure9", "ablations", "tvl"} {
 			run(name)
 			fmt.Println()
 		}

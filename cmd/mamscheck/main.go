@@ -61,6 +61,8 @@ func cfgFlags(fs *flag.FlagSet) (*check.Config, func()) {
 	fs.Uint64Var(&budget, "budget", check.DefaultEventBudget, "simulator event budget per run")
 	fs.StringVar(&cfg.Bug, "bug", "", "plant a regression: dup-sn (skip duplicate-sn suppression)")
 	fs.BoolVar(&cfg.SyncSSP, "syncssp", false, "enable synchronous pool flush")
+	fs.BoolVar(&cfg.GroupCommit, "groupcommit", false, "enable adaptive group commit + pipelined journal")
+	fs.BoolVar(&cfg.AsyncAck, "asyncack", false, "ack mutations at seal with a durability watermark (implies -groupcommit)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mamscheck %s [flags]\n", fs.Name())
 		fs.PrintDefaults()

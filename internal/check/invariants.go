@@ -230,6 +230,47 @@ func (m *Monitor) CheckDurable(results []fsclient.Result, cutoff sim.Time) (chec
 	return checked
 }
 
+// CheckDurableWatermark is the AsyncAck-mode durability audit. A seal-time
+// ack alone promises nothing; the durability contract is the watermark: an
+// op acked with (epoch e, sn s) is known durable once any reply from epoch
+// e reports DurableSN >= s (commit implies replication to every standby, so
+// within the systematic fault scope the op survives any tolerated failure).
+// The audit therefore requires Exists only for acked mutations covered by
+// the highest watermark observed for their epoch, mirroring what a client
+// is entitled to rely on.
+func (m *Monitor) CheckDurableWatermark(results []fsclient.Result, cutoff sim.Time) (checked int) {
+	active := m.c.ActiveOf(0)
+	if active == nil {
+		m.record("durable", "", "no active to audit durability against")
+		return 0
+	}
+	wm := map[uint64]uint64{} // epoch → max DurableSN seen in any reply
+	for _, r := range results {
+		if r.Epoch != 0 && r.DurableSN > wm[r.Epoch] {
+			wm[r.Epoch] = r.DurableSN
+		}
+	}
+	for _, r := range results {
+		if r.Err != nil || r.End > cutoff {
+			continue
+		}
+		if r.Kind != mams.OpCreate && r.Kind != mams.OpMkdir {
+			continue
+		}
+		if r.SN == 0 || r.SN > wm[r.Epoch] {
+			// Not watermark-covered (or a duplicate-outcome reply with no
+			// sn): the client was never promised durability for it.
+			continue
+		}
+		checked++
+		if !active.Tree().Exists(r.Path) {
+			m.record("durable", string(active.Node().ID()),
+				fmt.Sprintf("watermark-covered %s (sn %d <= wm %d, epoch %d) missing", r.Path, r.SN, wm[r.Epoch], r.Epoch))
+		}
+	}
+	return checked
+}
+
 // Violations returns everything recorded so far.
 func (m *Monitor) Violations() []Violation { return m.violations }
 

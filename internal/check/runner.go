@@ -27,6 +27,12 @@ type Config struct {
 
 	Bug     string // planted regression: "" or "dup-sn" (skip duplicate-sn suppression)
 	SyncSSP bool   // run with synchronous pool flush enabled
+
+	// GroupCommit runs with the adaptive group-commit + pipelined journal
+	// path; AsyncAck additionally acks mutations at seal (implies
+	// GroupCommit) and switches the durability audit to watermark semantics.
+	GroupCommit bool
+	AsyncAck    bool
 }
 
 // Defaults sized for a ~1-2 s wall-clock run on one core, which is what
@@ -102,6 +108,8 @@ func RunSchedule(cfg Config, sched Schedule) Result {
 	params := mams.DefaultParams()
 	params.TraceAppends = true
 	params.SyncSSP = cfg.SyncSSP
+	params.GroupCommit = cfg.GroupCommit || cfg.AsyncAck
+	params.AsyncAck = cfg.AsyncAck
 	if cfg.Bug == "dup-sn" {
 		params.SkipDupSuppression = true
 	}
@@ -216,8 +224,14 @@ func RunSchedule(cfg Config, sched Schedule) Result {
 
 	mon.CheckConverged()
 	// The systematic scope never loses a majority of the group at once, so
-	// every acked op must survive to the end of the run.
-	mon.CheckDurable(results, env.Now())
+	// every acked op must survive to the end of the run. Under AsyncAck the
+	// promise is per-watermark rather than per-ack, so the audit switches
+	// to watermark semantics.
+	if cfg.AsyncAck {
+		mon.CheckDurableWatermark(results, env.Now())
+	} else {
+		mon.CheckDurable(results, env.Now())
+	}
 	for _, r := range results {
 		if r.Err == nil {
 			res.Ops++

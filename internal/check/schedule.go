@@ -145,6 +145,10 @@ type Artifact struct {
 	Schedule  Schedule
 	Bug       string // regression knob ("" or "dup-sn")
 	SyncSSP   bool
+
+	// Commit-path mode knobs (older artifacts omit them; both default off).
+	GroupCommit bool
+	AsyncAck    bool
 }
 
 const artifactHeader = "mamscheck-artifact v1"
@@ -152,9 +156,9 @@ const artifactHeader = "mamscheck-artifact v1"
 // WriteArtifact serializes a in the fixture text format.
 func WriteArtifact(w io.Writer, a Artifact) error {
 	_, err := fmt.Fprintf(w,
-		"%s\nseed=%d\nbackups=%d\nsteps=%d\nstepevery=%d\nload=%d\nschedule=%s\nbug=%s\nsyncssp=%t\n",
+		"%s\nseed=%d\nbackups=%d\nsteps=%d\nstepevery=%d\nload=%d\nschedule=%s\nbug=%s\nsyncssp=%t\ngroupcommit=%t\nasyncack=%t\n",
 		artifactHeader, a.Seed, a.Backups, a.Steps, int64(a.StepEvery), a.Load,
-		a.Schedule.Encode(), a.Bug, a.SyncSSP)
+		a.Schedule.Encode(), a.Bug, a.SyncSSP, a.GroupCommit, a.AsyncAck)
 	return err
 }
 
@@ -198,6 +202,10 @@ func ReadArtifact(r io.Reader) (Artifact, error) {
 			a.Bug = val
 		case "syncssp":
 			a.SyncSSP, err = strconv.ParseBool(val)
+		case "groupcommit":
+			a.GroupCommit, err = strconv.ParseBool(val)
+		case "asyncack":
+			a.AsyncAck, err = strconv.ParseBool(val)
 		default:
 			return a, fmt.Errorf("check: unknown artifact key %q", key)
 		}
@@ -213,6 +221,7 @@ func (a Artifact) Config() Config {
 	return Config{
 		Seed: a.Seed, Backups: a.Backups, Steps: a.Steps, StepEvery: a.StepEvery,
 		Load: a.Load, Bug: a.Bug, SyncSSP: a.SyncSSP,
+		GroupCommit: a.GroupCommit, AsyncAck: a.AsyncAck,
 	}
 }
 
@@ -222,5 +231,6 @@ func ArtifactFor(cfg Config, s Schedule) Artifact {
 	return Artifact{
 		Seed: cfg.Seed, Backups: cfg.Backups, Steps: cfg.Steps, StepEvery: cfg.StepEvery,
 		Load: cfg.Load, Schedule: s.canon(), Bug: cfg.Bug, SyncSSP: cfg.SyncSSP,
+		GroupCommit: cfg.GroupCommit, AsyncAck: cfg.AsyncAck,
 	}
 }

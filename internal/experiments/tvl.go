@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mams/internal/cluster"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/sim"
+	"mams/internal/workload"
+)
+
+// TvlCell is one measured (batch policy × offered load) point.
+type TvlCell struct {
+	Policy  string  `json:"policy"`
+	Clients int     `json:"clients"`
+	Tput    float64 `json:"ops_per_sec"`
+	P50ms   float64 `json:"p50_ms"`
+	P99ms   float64 `json:"p99_ms"`
+}
+
+// TvlResult carries the throughput-vs-latency sweep.
+type TvlResult struct {
+	Table *Table
+	Cells []TvlCell
+}
+
+// Saturation returns the best sustained throughput the policy reached at
+// any offered load (0 if the policy was not swept).
+func (r TvlResult) Saturation(policy string) float64 {
+	best := 0.0
+	for _, c := range r.Cells {
+		if c.Policy == policy && c.Tput > best {
+			best = c.Tput
+		}
+	}
+	return best
+}
+
+// tvlPolicy names one commit-path configuration under sweep.
+type tvlPolicy struct {
+	name   string
+	params func() mams.Params
+}
+
+func tvlPolicies() []tvlPolicy {
+	return []tvlPolicy{
+		{"timer-sync", mams.DefaultParams}, // seed path: 2 ms timer, commit-acked
+		{"group-sync", func() mams.Params {
+			p := mams.DefaultParams()
+			p.GroupCommit = true
+			return p
+		}},
+		{"group-async", func() mams.Params {
+			p := mams.DefaultParams()
+			p.GroupCommit = true
+			p.AsyncAck = true
+			return p
+		}},
+	}
+}
+
+// tvlLoads is the offered-load axis (closed-loop client concurrency).
+var tvlLoads = []int{8, 32, 128, 512}
+
+// measureTvlCell runs one open-ended create stream against a fresh 1-active
+// 3-standby group and samples a steady-state window after warmup.
+func measureTvlCell(seed uint64, params mams.Params, clients int, warmup, window sim.Time) TvlCell {
+	env := cluster.NewEnv(seed)
+	sys := cluster.BuildMAMS(env, cluster.MAMSSpec{
+		Groups: 1, BackupsPerGroup: 3, Params: params,
+	}).AsSystem()
+	if !sys.AwaitReady(60 * sim.Second) {
+		return TvlCell{}
+	}
+	collecting := false
+	completed := 0
+	var lats []sim.Time
+	drv := workload.NewDriver(env, sys, clients, func(r fsclient.Result) {
+		if !collecting || r.Err != nil {
+			return
+		}
+		completed++
+		lats = append(lats, r.End-r.Start)
+	})
+	drv.Setup(8)
+	stop := drv.Continuous(workload.Mix{mams.OpCreate: 1}, clients)
+	env.RunFor(warmup)
+	collecting = true
+	start := env.Now()
+	env.RunFor(window)
+	collecting = false
+	elapsed := env.Now() - start
+	stop()
+	cell := TvlCell{Clients: clients}
+	if elapsed > 0 {
+		cell.Tput = float64(completed) / elapsed.Seconds()
+	}
+	cell.P50ms = quantileMS(lats, 0.50)
+	cell.P99ms = quantileMS(lats, 0.99)
+	return cell
+}
+
+// quantileMS returns the q-quantile of the latencies in milliseconds
+// (nearest-rank on the sorted sample; 0 for an empty sample).
+func quantileMS(lats []sim.Time, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := make([]sim.Time, len(lats))
+	copy(s, lats)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx]) / float64(sim.Millisecond)
+}
+
+// Tvl sweeps offered load × batch policy × ack mode on one replica group and
+// reports sustained create throughput with p50/p99 client latency — the
+// commit-path counterpart of Figure 5, sized to show the group-commit and
+// async-ack gains over the seed timer-only path.
+func Tvl(opts Options) TvlResult {
+	return tvlSweep(opts, tvlLoads, 500*sim.Millisecond, 1500*sim.Millisecond)
+}
+
+// tvlSweep is Tvl with the load axis and measurement window pluggable (tests
+// use a trimmed sweep to keep wall-clock time down).
+func tvlSweep(opts Options, loads []int, warmup, window sim.Time) TvlResult {
+	opts.Defaults()
+	policies := tvlPolicies()
+	res := TvlResult{}
+	t := &Table{
+		ID:    "TVL",
+		Title: "Throughput vs latency: commit-path policies under increasing offered load",
+		Note: "timer-sync = seed 2ms-timer path; group-sync = adaptive group commit + pipelined batches;\n" +
+			"group-async = group commit with seal-time acks (durability via watermark). 1 group, 3 standbys.",
+		Header: []string{"policy", "clients", "ops/s", "p50 ms", "p99 ms"},
+	}
+	// One cell per (policy, load); seeds follow the row-major cell index so
+	// results are bit-identical at any Parallelism.
+	base := opts.Seed*1000 + 700
+	nl := len(loads)
+	cells := make([]TvlCell, len(policies)*nl)
+	forEachCell(opts, len(cells), func(k int) {
+		pol := policies[k/nl]
+		cells[k] = measureTvlCell(base+uint64(k)+1, pol.params(), loads[k%nl], warmup, window)
+		cells[k].Policy = pol.name
+	})
+	for _, c := range cells {
+		t.AddRow(c.Policy, fmt.Sprint(c.Clients), f1(c.Tput), f3(c.P50ms), f3(c.P99ms))
+	}
+	res.Cells = cells
+	res.Table = t
+	return res
+}

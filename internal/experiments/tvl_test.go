@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"mams/internal/mams"
+	"mams/internal/sim"
+)
+
+// TestTvlSpeedups asserts the acceptance bar for the commit-path rebuild:
+// at saturation, adaptive group commit sustains at least 5x the seed
+// timer-only throughput, and seal-time async acks at least 10x.
+func TestTvlSpeedups(t *testing.T) {
+	const (
+		clients = 192
+		warmup  = 300 * sim.Millisecond
+		window  = 800 * sim.Millisecond
+	)
+	timer := measureTvlCell(11, mams.DefaultParams(), clients, warmup, window)
+
+	gp := mams.DefaultParams()
+	gp.GroupCommit = true
+	group := measureTvlCell(12, gp, clients, warmup, window)
+
+	ap := mams.DefaultParams()
+	ap.GroupCommit = true
+	ap.AsyncAck = true
+	async := measureTvlCell(13, ap, clients, warmup, window)
+
+	if timer.Tput <= 0 {
+		t.Fatalf("timer-sync produced no throughput")
+	}
+	t.Logf("saturation ops/s: timer=%.0f group=%.0f (%.1fx) async=%.0f (%.1fx)",
+		timer.Tput, group.Tput, group.Tput/timer.Tput, async.Tput, async.Tput/timer.Tput)
+	if group.Tput < 5*timer.Tput {
+		t.Errorf("group-sync %.0f ops/s < 5x timer-sync %.0f ops/s", group.Tput, timer.Tput)
+	}
+	if async.Tput < 10*timer.Tput {
+		t.Errorf("group-async %.0f ops/s < 10x timer-sync %.0f ops/s", async.Tput, timer.Tput)
+	}
+	// Group commit should also beat the timer path on latency: the seed
+	// path floors p50 near BatchEvery (2 ms) plus queueing.
+	if group.P50ms >= timer.P50ms {
+		t.Errorf("group-sync p50 %.3f ms not below timer-sync p50 %.3f ms", group.P50ms, timer.P50ms)
+	}
+	if async.P50ms >= group.P50ms {
+		t.Errorf("group-async p50 %.3f ms not below group-sync p50 %.3f ms", async.P50ms, group.P50ms)
+	}
+}
+
+// TestTvlDeterministicAcrossParallelism asserts byte-identical sweep output
+// regardless of the worker count (cells are seeded by index, not by
+// completion order).
+func TestTvlDeterministicAcrossParallelism(t *testing.T) {
+	loads := []int{8, 32}
+	const (
+		warmup = 200 * sim.Millisecond
+		window = 400 * sim.Millisecond
+	)
+	seq := tvlSweep(Options{Seed: 7, Parallelism: 1}, loads, warmup, window)
+	par := tvlSweep(Options{Seed: 7, Parallelism: 4}, loads, warmup, window)
+	if got, want := par.Table.String(), seq.Table.String(); got != want {
+		t.Fatalf("tvl output differs across parallelism:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}

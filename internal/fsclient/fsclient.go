@@ -28,6 +28,14 @@ type Result struct {
 	End     sim.Time
 	Err     error
 	Retries int
+
+	// SN/Epoch identify the journal batch that carried a mutation (zero
+	// for reads and failures). DurableSN is the group's durability
+	// watermark at reply time: under AsyncAck an op is known durable once
+	// any reply from the same epoch reports DurableSN >= SN.
+	SN        uint64
+	Epoch     uint64
+	DurableSN uint64
 }
 
 // Config assembles a client.
@@ -213,6 +221,7 @@ func (c *Client) finish(op mams.ClientOp, start sim.Time, retries int, rep mams.
 		c.cfg.OnResult(Result{
 			Kind: op.Kind, Path: op.Path, Start: start,
 			End: c.node.World().Now(), Err: err, Retries: retries,
+			SN: rep.SN, Epoch: rep.Epoch, DurableSN: rep.DurableSN,
 		})
 	}
 	cb(rep, err)

@@ -1,8 +1,28 @@
 package mams
 
+import "mams/internal/ssp"
+
 // ReflushTailForTest replays the failover step-4 re-flush from this server
 // exactly as commitCachedAndFlip would, letting tests exercise duplicate
 // suppression without staging a full active crash.
 func (s *Server) ReflushTailForTest() {
 	s.reflushTail(s.view.Epoch)
+}
+
+// BreakSSPForTest swaps the server's pool client for one with no reachable
+// pool nodes, so every Put fails immediately with ssp.ErrNoPool. The seal
+// path re-reads s.sspc on each retry, so RestoreSSPForTest heals the next
+// retry attempt.
+func (s *Server) BreakSSPForTest() {
+	s.sspc = ssp.NewClient(s.node, nil, nil, s.cfg.Params.SSPReplicas)
+}
+
+// RestoreSSPForTest reinstalls the real pool client after BreakSSPForTest.
+func (s *Server) RestoreSSPForTest() {
+	s.sspc = ssp.NewClient(s.node, s.cfg.PoolNodes, s.pool, s.cfg.Params.SSPReplicas)
+}
+
+// PendingReplForTest reports how many sealed batches are awaiting commit.
+func (s *Server) PendingReplForTest() int {
+	return len(s.pendingRepl)
 }

@@ -28,19 +28,13 @@ func (s *Server) onDeposedByLockLoss() {
 	s.emit(trace.KindFailover, "active-lost-lock", "epoch", fmt.Sprint(s.view.Epoch))
 	s.endReplSpans("abandoned-lock-loss")
 	dirty := s.deposedDirty()
-	if s.batchTimer != nil {
-		s.batchTimer.Stop()
-	}
+	s.stopBatchTimer()
 	s.builder = nil
 	s.renewScanOn = false
 	s.renewTarget = ""
 	s.renewSession = ""
-	for sn, ws := range s.waiters {
-		for _, w := range ws {
-			w(fmt.Errorf("mams: lost lock"))
-		}
-		delete(s.waiters, sn)
-	}
+	s.invalidateReplTargets()
+	s.failAllWaiters(fmt.Errorf("mams: lost lock"))
 	for _, rs := range s.pendingRepl {
 		if rs.timer != nil {
 			rs.timer.Stop()
@@ -184,9 +178,7 @@ func (s *Server) commitCachedAndFlip() {
 	// Step 2: apply cached (prepared but uncommitted) journals.
 	s.stageSpan = s.spans.Begin("stage-commit-cached", me, s.failoverSpan)
 	s.node.After(s.cfg.Params.SwitchCommitCost, "mams-switch-commit", func() {
-		if s.pendingBatch != nil {
-			s.commitPending()
-		}
+		s.commitAllQueued()
 		s.emit(trace.KindFailover, "cached-committed", "sn", fmt.Sprint(s.log.LastSN()))
 		s.spans.End(s.stageSpan, "sn", fmt.Sprint(s.log.LastSN()))
 		// Step 3: modify the global view (previous active is refused by

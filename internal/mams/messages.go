@@ -63,6 +63,16 @@ type OpReply struct {
 	Hint      simnet.NodeID // best guess at the real active (may be empty)
 	Info      *namespace.Info
 	Infos     []namespace.Info
+
+	// SN is the journal batch carrying this mutation (0 for reads and
+	// failed ops) and Epoch the issuing active's view epoch.
+	SN    uint64
+	Epoch uint64
+	// DurableSN is the group's durability watermark (highest committed sn)
+	// at reply time. A sync-acked mutation always satisfies SN <= DurableSN;
+	// an AsyncAck mutation is known durable only once some reply from the
+	// same epoch reports DurableSN >= SN.
+	DurableSN uint64
 }
 
 // AppendBatch replicates a sealed journal batch from the active to its

@@ -42,6 +42,42 @@ type Params struct {
 	// ack before degrading it to junior.
 	AckTimeout sim.Time
 
+	// GroupCommit switches the active's commit path from the legacy
+	// timer-only sealing to adaptive group commit with a pipelined journal:
+	// a batch seals as soon as the pipeline has room (immediately when
+	// nothing is in flight, on each commit advance otherwise, or when the
+	// builder reaches BatchMaxRecords), and the journal write runs on its
+	// own lane so only the in-memory dispatch share of a mutating op stays
+	// on the op-service thread.
+	GroupCommit bool
+
+	// MaxInflightBatches bounds the pipelined replication window under
+	// GroupCommit: that many sealed batches may be replicating concurrently
+	// while commit advancement stays strictly in sn order (0 = default 4).
+	MaxInflightBatches int
+
+	// AsyncAck (requires GroupCommit) acknowledges mutations at seal time
+	// instead of at commit: the reply carries the batch sn plus the group's
+	// durability watermark (committedSN), and clients learn durability when
+	// a later watermark from the same epoch covers their sn.
+	AsyncAck bool
+
+	// DispatchFrac is the share of a mutating op's service time spent on
+	// in-memory dispatch under GroupCommit; the remaining journal-sync
+	// share moves to the journal lane and amortizes across the batch
+	// (out of range values fall back to the default 0.10).
+	DispatchFrac float64
+
+	// JournalFlushPerBatch / JournalPerRecord are the journal lane's
+	// per-seal (sequential write + sync) and per-record encode costs.
+	JournalFlushPerBatch sim.Time
+	JournalPerRecord     sim.Time
+
+	// CommitAckCost is the dispatch-thread cost per op to process a commit
+	// completion and send the reply in GroupCommit sync-ack mode (AsyncAck
+	// replies at seal and skips it).
+	CommitAckCost sim.Time
+
 	// SSPReplicas is the shared-file replication factor in the pool.
 	SSPReplicas int
 
@@ -106,6 +142,12 @@ func DefaultParams() Params {
 		AckTimeout:  500 * sim.Millisecond,
 		SSPReplicas: 2,
 
+		MaxInflightBatches:   4,
+		DispatchFrac:         0.10,
+		JournalFlushPerBatch: 30 * sim.Microsecond,
+		JournalPerRecord:     4 * sim.Microsecond,
+		CommitAckCost:        6 * sim.Microsecond,
+
 		ElectionJitterMin: 10 * sim.Millisecond,
 		ElectionJitterMax: 60 * sim.Millisecond,
 		SwitchCommitCost:  90 * sim.Millisecond,
@@ -119,6 +161,29 @@ func DefaultParams() Params {
 
 		CheckpointEverySN: 0,
 	}
+}
+
+// inflightWindow is the pipelined replication depth: unbounded without
+// GroupCommit (the legacy timer path never waits on the window), else
+// MaxInflightBatches.
+func (p Params) inflightWindow() int {
+	if !p.GroupCommit {
+		return 1 << 30
+	}
+	if p.MaxInflightBatches <= 0 {
+		return 4
+	}
+	return p.MaxInflightBatches
+}
+
+// dispatchSvc is the op-service-thread share of a mutating op's service
+// time under GroupCommit.
+func (p Params) dispatchSvc(svc sim.Time) sim.Time {
+	frac := p.DispatchFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.10
+	}
+	return sim.Time(float64(svc) * frac)
 }
 
 // svcFor returns the active's service time for an operation kind.

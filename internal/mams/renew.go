@@ -153,6 +153,7 @@ func (s *Server) onRenewProgress(m RenewProgress) {
 	// member promoted without them could never obtain them outside failover
 	// (the re-flush of Fig. 4 step 4 only replays the last few batches).
 	s.renewTarget = m.From
+	s.invalidateReplTargets()
 	for _, b := range s.log.Since(m.SN) {
 		s.node.Send(m.From, AppendBatch{From: s.cfg.ID, Epoch: s.view.Epoch, Batch: b,
 			CommitThrough: s.committedSN, FlushOnly: true})

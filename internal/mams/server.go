@@ -62,7 +62,8 @@ type replState struct {
 	batch      journal.Batch
 	needed     map[simnet.NodeID]bool
 	timer      *sim.Timer
-	sspPending bool // SyncSSP mode: pool write not yet durable
+	sealedAt   sim.Time // seal instant, for the seal-to-commit histogram
+	sspPending bool     // SyncSSP mode: pool write not yet durable
 	// span covers this batch's replication round from seal to commit (or
 	// abandonment when the active is deposed mid-round).
 	span obs.SpanID
@@ -112,10 +113,25 @@ type Server struct {
 	pendingRepl map[uint64]*replState
 	committedSN uint64
 	waiters     map[uint64][]func(err error)
+	// sealWaiters fire when their batch seals (AsyncAck replies); waiters
+	// fire when it commits.
+	sealWaiters map[uint64][]func(err error)
 	batchTimer  *sim.Timer
+	batchArmed  bool
+	fenceLoopOn bool
+	// journalBusyUntil is the journal lane under GroupCommit: sequential
+	// batch writes run here instead of on the op-dispatch lane (busyUntil).
+	journalBusyUntil sim.Time
+	// replCache memoizes replTargets per adopted view (invalidated on view
+	// changes and renew-target transitions).
+	replCache   []simnet.NodeID
+	replCacheOK bool
 
-	// Standby-side pipeline.
-	pendingBatch *journal.Batch
+	// Standby-side pipeline: prepared (uncommitted) batches in sn order.
+	// Depth is bounded by the active's in-flight window plus re-flush
+	// duplicates; batches apply only when the active declares them
+	// committed (CommitThrough / CommitNotice) or during upgrade step 2.
+	pendingQueue []journal.Batch
 
 	// Election state.
 	electing     sim.Time // when the trigger fired (0 = not electing)
@@ -156,6 +172,10 @@ type Server struct {
 	obsReflushed     *obs.Counter
 	obsDups          *obs.Counter
 	obsBuffered      *obs.Gauge
+	obsBatchRecords  *obs.Histogram
+	obsSealToCommit  *obs.Histogram
+	obsInflight      *obs.Gauge
+	obsWatermarkLag  *obs.Gauge
 	obsElectStarted  *obs.Counter
 	obsElectWon      *obs.Counter
 	obsElectLost     *obs.Counter
@@ -180,6 +200,7 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 		viewVer:       -1,
 		pendingRepl:   map[uint64]*replState{},
 		waiters:       map[uint64][]func(error){},
+		sealWaiters:   map[uint64][]func(error){},
 		renewLastSeen: map[simnet.NodeID]uint64{},
 		txnPending:    map[uint64]*txnState{},
 		retryCache:    map[uint64]OpReply{},
@@ -199,6 +220,17 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 		"Duplicate batches suppressed by serial number on a standby.", "node", me)
 	s.obsBuffered = reg.Gauge("mams_failover_buffered_requests",
 		"Client operations buffered while this node upgrades to active (peak via max).", "node", me)
+	s.obsBatchRecords = reg.Histogram("mams_journal_batch_records",
+		"Records per sealed journal batch (adaptive group commit sizes batches by load).",
+		obs.ExpBuckets(1, 2, 11), "node", me)
+	s.obsSealToCommit = reg.Histogram("mams_journal_seal_to_commit_seconds",
+		"Latency from batch seal to in-order commit on the active.",
+		obs.ExpBuckets(0.0002, 2, 12), "node", me)
+	s.obsInflight = reg.Gauge("mams_journal_inflight_batches",
+		"Sealed batches currently replicating in the pipelined window (peak via max).", "node", me)
+	s.obsWatermarkLag = reg.Gauge("mams_journal_watermark_lag_batches",
+		"Sealed-but-uncommitted batches: LastSN minus the durability watermark (peak via max).",
+		"node", me)
 	s.obsElectStarted = reg.Counter("mams_elections_started_total",
 		"Election attempts triggered by a missing lock or active.", "node", me)
 	s.obsElectWon = reg.Counter("mams_elections_won_total",
@@ -302,7 +334,12 @@ func (s *Server) Restart() {
 	s.viewVer = -1
 	s.pendingRepl = map[uint64]*replState{}
 	s.waiters = map[uint64][]func(error){}
-	s.pendingBatch = nil
+	s.sealWaiters = map[uint64][]func(error){}
+	s.pendingQueue = nil
+	s.batchArmed = false
+	s.fenceLoopOn = false
+	s.journalBusyUntil = 0
+	s.invalidateReplTargets()
 	s.electing = 0
 	s.upgradeQueue = nil
 	s.renewTarget = ""
@@ -432,8 +469,11 @@ func (s *Server) becomeActiveNow(epoch uint64) {
 	s.upgrading = false
 	s.builder = journal.NewBuilder(epoch, s.log.LastSN(), s.lastTx)
 	s.committedSN = s.log.LastSN()
+	s.invalidateReplTargets()
 	s.emit(trace.KindState, "become-active", "epoch", fmt.Sprint(epoch), "sn", fmt.Sprint(s.log.LastSN()))
-	s.armBatchTimer()
+	// The batch timer arms lazily on the first record after a seal; the
+	// self-fence check runs on its own loop so an idle active still fences.
+	s.armFenceLoop()
 	s.armRenewScan()
 	s.armWatches()
 	// Serve anything buffered during the upgrade.
@@ -544,6 +584,7 @@ func (s *Server) adoptView(v View, ver int64) {
 	}
 	prev := s.view
 	s.view, s.viewVer = v, ver
+	s.invalidateReplTargets()
 
 	me := string(s.cfg.ID)
 	switch {
@@ -555,7 +596,7 @@ func (s *Server) adoptView(v View, ver int64) {
 		s.stepDown(v)
 	case v.States[me] == RoleJunior && s.role == RoleStandby:
 		s.role = RoleJunior
-		s.pendingBatch = nil
+		s.pendingQueue = nil
 		s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(v.Epoch))
 	}
 	// A new active appeared: every member registers (Fig. 4 step 5).
@@ -581,11 +622,11 @@ func (s *Server) armLockAliveWatches() {
 	}
 }
 
-// effectiveSN is the sn this node could commit up to (including a cached
-// uncommitted batch, which it would apply during upgrade).
+// effectiveSN is the sn this node could commit up to (including cached
+// uncommitted batches, which it would apply during upgrade).
 func (s *Server) effectiveSN() uint64 {
-	if s.pendingBatch != nil {
-		return s.pendingBatch.SN
+	if n := len(s.pendingQueue); n > 0 {
+		return s.pendingQueue[n-1].SN
 	}
 	return s.log.LastSN()
 }
@@ -611,7 +652,7 @@ func (s *Server) hardResetToJunior() {
 	s.log = journal.NewLog()
 	s.lastTx = 0
 	s.committedSN = 0
-	s.pendingBatch = nil
+	s.pendingQueue = nil
 	s.renewing = false
 	s.role = RoleJunior
 }
@@ -644,6 +685,38 @@ func (s *Server) endElectionSpans(outcome string) {
 	s.stageSpan, s.electionSpan, s.failoverSpan = 0, 0, 0
 }
 
+// failAllWaiters fails every commit- and seal-pending client reply (the
+// node stopped being active; clients retry against the successor).
+func (s *Server) failAllWaiters(err error) {
+	for sn, ws := range s.waiters {
+		for _, w := range ws {
+			w(err)
+		}
+		delete(s.waiters, sn)
+	}
+	for sn, ws := range s.sealWaiters {
+		for _, w := range ws {
+			w(err)
+		}
+		delete(s.sealWaiters, sn)
+	}
+}
+
+// stopBatchTimer cancels a pending lazy batch timer.
+func (s *Server) stopBatchTimer() {
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+	}
+	s.batchArmed = false
+}
+
+// invalidateReplTargets drops the memoized replication target list; the
+// next seal rebuilds it from the current view and renew target.
+func (s *Server) invalidateReplTargets() {
+	s.replCacheOK = false
+	s.replCache = nil
+}
+
 // stepDown turns a deposed active into the role the view assigns it. If
 // its state cannot be a valid prefix of the new timeline it resets to
 // junior instead and relies on renewing.
@@ -651,21 +724,15 @@ func (s *Server) stepDown(v View) {
 	s.emit(trace.KindState, "step-down", "epoch", fmt.Sprint(v.Epoch))
 	s.endReplSpans("abandoned-step-down")
 	dirty := s.deposedDirty()
-	if s.batchTimer != nil {
-		s.batchTimer.Stop()
-	}
+	s.stopBatchTimer()
 	s.builder = nil
 	s.renewScanOn = false
 	s.renewTarget = ""
 	s.renewSession = ""
+	s.invalidateReplTargets()
 	// Fail all waiting client replies; clients retry against the new
 	// active (the paper's duplicate-message handling absorbs retries).
-	for sn, ws := range s.waiters {
-		for _, w := range ws {
-			w(fmt.Errorf("mams: deposed"))
-		}
-		delete(s.waiters, sn)
-	}
+	s.failAllWaiters(fmt.Errorf("mams: deposed"))
 	for _, rs := range s.pendingRepl {
 		if rs.timer != nil {
 			rs.timer.Stop()
@@ -745,22 +812,15 @@ func (s *Server) onSessionExpired() {
 	wasActive := s.role == RoleActive
 	if wasActive {
 		dirty := s.deposedDirty()
-		if s.batchTimer != nil {
-			s.batchTimer.Stop()
-		}
+		s.stopBatchTimer()
 		s.builder = nil
-		for sn, ws := range s.waiters {
-			for _, w := range ws {
-				w(fmt.Errorf("mams: session expired"))
-			}
-			delete(s.waiters, sn)
-		}
+		s.failAllWaiters(fmt.Errorf("mams: session expired"))
 		if dirty {
 			s.hardResetToJunior()
 		}
 	}
 	s.role = RoleJunior
-	s.pendingBatch = nil
+	s.pendingQueue = nil
 	s.renewing = false
 	s.renewScanOn = false
 	s.coordCli.Restart(func(err error) {
@@ -891,8 +951,14 @@ func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)
 		reply(cached)
 		return
 	}
-	// CPU queue: ops are serviced sequentially.
+	// CPU queue: ops are serviced sequentially. Under GroupCommit only the
+	// in-memory dispatch share of a mutating op runs here; the journal-sync
+	// share that dominates the legacy service time amortizes across the
+	// batch on the journal lane.
 	svc := s.cfg.Params.svcFor(op.Kind)
+	if s.cfg.Params.GroupCommit && op.Kind.Mutating() {
+		svc = s.cfg.Params.dispatchSvc(svc)
+	}
 	now := s.node.World().Now()
 	start := s.busyUntil
 	if start < now {
@@ -966,33 +1032,91 @@ func (s *Server) applyAndJournal(op ClientOp, recs []journal.Record, reply func(
 	}
 	// The records will ride in the next sealed batch.
 	sn := s.log.LastSN() + 1
-	s.waiters[sn] = append(s.waiters[sn], func(err error) {
+	done := func(err error) {
 		if err != nil {
 			reply(OpReply{Err: err.Error(), NotActive: true, Hint: simnet.NodeID(s.view.Active)})
 			return
 		}
-		s.finishOp(op, OpReply{}, reply)
-	})
+		s.finishOp(op, OpReply{SN: sn, Epoch: s.view.Epoch, DurableSN: s.committedSN}, reply)
+	}
+	if s.cfg.Params.AsyncAck && s.cfg.Params.GroupCommit {
+		// Ack at seal: the reply's DurableSN is the watermark the client
+		// compares its SN against to learn durability.
+		s.sealWaiters[sn] = append(s.sealWaiters[sn], done)
+	} else {
+		s.waiters[sn] = append(s.waiters[sn], done)
+	}
+	s.recordsPending()
 }
 
 // ---- journal batching & replication (active) ----
 
+// recordsPending applies the commit-path seal policy after records entered
+// the builder. Legacy (timer-only) mode arms the lazy BatchEvery timer;
+// adaptive group commit seals immediately when the pipeline is empty or the
+// builder is full and the window has room, and otherwise lets the next
+// commit advance (or the timer, as idle/overflow fallback) seal.
+func (s *Server) recordsPending() {
+	if s.role != RoleActive || s.builder == nil || s.builder.Pending() == 0 {
+		return
+	}
+	p := s.cfg.Params
+	if p.GroupCommit &&
+		(len(s.pendingRepl) == 0 ||
+			(s.builder.Pending() >= p.BatchMaxRecords && len(s.pendingRepl) < p.inflightWindow())) {
+		s.sealBatch()
+		return
+	}
+	s.armBatchTimer()
+}
+
+// armBatchTimer arms the seal fallback timer if it is not already pending.
+// It is armed lazily — only while records wait in the builder — so an idle
+// active schedules no timer events at all.
 func (s *Server) armBatchTimer() {
+	if s.batchArmed || s.role != RoleActive {
+		return
+	}
+	s.batchArmed = true
 	s.batchTimer = s.node.After(s.cfg.Params.BatchEvery, "mds-batch", func() {
+		s.batchArmed = false
+		if s.role != RoleActive {
+			return
+		}
+		s.sealBatch()
+		if s.builder != nil && s.builder.Pending() > 0 {
+			// The pipelined window was full: keep the fallback armed.
+			s.armBatchTimer()
+		}
+	})
+}
+
+// armFenceLoop runs the active's self-fence check on its own periodic loop
+// (it used to piggyback on the always-armed batch timer): if we have been
+// out of contact with the coordination service for close to the session
+// timeout, our lock and liveness node may already be gone and a new active
+// may be rising — stop serving before we can conflict.
+func (s *Server) armFenceLoop() {
+	if s.fenceLoopOn {
+		return
+	}
+	s.fenceLoopOn = true
+	const every = 250 * sim.Millisecond
+	var loop func()
+	loop = func() {
+		if s.stopped || s.role != RoleActive {
+			s.fenceLoopOn = false
+			return
+		}
 		if s.leaseLapsed() {
-			// Self-fencing: we have been out of contact with the
-			// coordination service for close to the session timeout, so
-			// our lock and liveness node may already be gone and a new
-			// active may be rising. Stop serving before we can conflict.
+			s.fenceLoopOn = false
 			s.emit(trace.KindState, "self-fence")
 			s.onSessionExpired()
 			return
 		}
-		s.sealBatch()
-		if s.role == RoleActive {
-			s.armBatchTimer()
-		}
-	})
+		s.node.After(every, "mams-fence-check", loop)
+	}
+	s.node.After(every, "mams-fence-check", loop)
 }
 
 // leaseLapsed reports whether the active's coordination lease expired: no
@@ -1010,8 +1134,13 @@ func (s *Server) leaseLapsed() bool {
 }
 
 // replTargets are the members that must ack every batch: the standbys in
-// the current view plus a junior in final renewing sync.
+// the current view plus a junior in final renewing sync. The set is
+// memoized per adopted view (it is on the per-seal hot path) and
+// invalidated whenever the view or the renew target changes.
 func (s *Server) replTargets() []simnet.NodeID {
+	if s.replCacheOK {
+		return s.replCache
+	}
 	var out []simnet.NodeID
 	for _, id := range s.view.Standbys() {
 		if id != string(s.cfg.ID) {
@@ -1022,11 +1151,19 @@ func (s *Server) replTargets() []simnet.NodeID {
 		out = append(out, s.renewTarget)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	s.replCache, s.replCacheOK = out, true
 	return out
 }
 
 func (s *Server) sealBatch() {
 	if s.role != RoleActive || s.builder == nil || s.builder.Pending() == 0 {
+		return
+	}
+	p := s.cfg.Params
+	if len(s.pendingRepl) >= p.inflightWindow() {
+		// Pipelined window full: the seal hook in tryAdvanceCommit (or the
+		// fallback timer) retries once a slot frees up.
+		s.armBatchTimer()
 		return
 	}
 	batch := s.builder.Seal()
@@ -1037,62 +1174,99 @@ func (s *Server) sealBatch() {
 	}
 	s.emitAppend(batch.SN)
 	s.obsSealed.Inc()
+	s.obsBatchRecords.Observe(float64(len(batch.Records)))
 	targets := s.replTargets()
-	// Replication + SSP serialization CPU cost on the active.
-	cost := sim.Time(len(targets)) * (s.cfg.Params.ReplPerBatchPerStandby +
-		sim.Time(len(batch.Records))*s.cfg.Params.ReplPerRecordPerStandby)
-	cost += sim.Time(len(batch.Records)) * s.cfg.Params.SSPPerRecordCPU
 	now := s.node.World().Now()
-	if s.busyUntil < now {
-		s.busyUntil = now
+	var launchDelay sim.Time
+	if p.GroupCommit {
+		// The journal write runs on its own lane: sequential flush + encode
+		// per record + replication fan-out, overlapped with op dispatch.
+		cost := p.JournalFlushPerBatch +
+			sim.Time(len(batch.Records))*p.JournalPerRecord +
+			sim.Time(len(targets))*p.ReplPerBatchPerStandby
+		if s.journalBusyUntil < now {
+			s.journalBusyUntil = now
+		}
+		s.journalBusyUntil += cost
+		launchDelay = s.journalBusyUntil - now
+	} else {
+		// Legacy path: replication + SSP serialization CPU charged to the
+		// single dispatch thread.
+		cost := sim.Time(len(targets)) * (p.ReplPerBatchPerStandby +
+			sim.Time(len(batch.Records))*p.ReplPerRecordPerStandby)
+		cost += sim.Time(len(batch.Records)) * p.SSPPerRecordCPU
+		if s.busyUntil < now {
+			s.busyUntil = now
+		}
+		s.busyUntil += cost
 	}
-	s.busyUntil += cost
 
-	rs := &replState{batch: batch, needed: map[simnet.NodeID]bool{}}
+	rs := &replState{batch: batch, needed: map[simnet.NodeID]bool{}, sealedAt: now}
 	rs.span = s.spans.Begin("journal-2pc", string(s.cfg.ID), 0,
 		"sn", fmt.Sprint(batch.SN), "standbys", fmt.Sprint(len(targets)))
 	for _, t := range targets {
 		rs.needed[t] = true
 	}
 	s.pendingRepl[batch.SN] = rs
-	// Persist into the shared storage pool: asynchronously by default
-	// (§IV: "written back to journals in an asynchronous way"), or as part
-	// of the commit requirement in SyncSSP mode.
-	enc := batch.Encode()
-	rs.sspPending = s.cfg.Params.SyncSSP
+	s.obsInflight.Set(float64(len(s.pendingRepl)))
+	s.obsWatermarkLag.Set(float64(batch.SN - s.committedSN))
 	sn := batch.SN
-	var put func()
-	put = func() {
-		s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: sn}, enc, int64(len(enc)), func(err error) {
-			cur, ok := s.pendingRepl[sn]
-			if !ok || cur != rs {
-				return // already committed via standby acks, or we stepped down
-			}
-			if err != nil {
-				// A failed pool write is not durability: this write is the
-				// backstop for batches no standby holds (and the whole point
-				// of SyncSSP mode). Retry while the batch is pending.
-				s.node.After(100*sim.Millisecond, "mams-ssp-retry", put)
-				return
-			}
-			rs.sspDone = true
-			rs.sspPending = false
+	if p.AsyncAck && p.GroupCommit {
+		// Async acks: reply at seal. The reply body (built in applyAndJournal)
+		// carries this sn plus the current durability watermark.
+		for _, w := range s.sealWaiters[sn] {
+			w(nil)
+		}
+		delete(s.sealWaiters, sn)
+	}
+
+	launch := func() {
+		if cur, ok := s.pendingRepl[sn]; !ok || cur != rs || s.role != RoleActive {
+			return // committed, stepped down, or reset while flushing
+		}
+		// Persist into the shared storage pool: asynchronously by default
+		// (§IV: "written back to journals in an asynchronous way"), or as
+		// part of the commit requirement in SyncSSP mode.
+		enc := batch.Encode()
+		rs.sspPending = p.SyncSSP
+		var put func()
+		put = func() {
+			s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: sn}, enc, int64(len(enc)), func(err error) {
+				cur, ok := s.pendingRepl[sn]
+				if !ok || cur != rs {
+					return // already committed via standby acks, or we stepped down
+				}
+				if err != nil {
+					// A failed pool write is not durability: this write is the
+					// backstop for batches no standby holds (and the whole point
+					// of SyncSSP mode). Retry while the batch is pending.
+					s.node.After(100*sim.Millisecond, "mams-ssp-retry", put)
+					return
+				}
+				rs.sspDone = true
+				rs.sspPending = false
+				s.tryAdvanceCommit()
+			})
+		}
+		put()
+
+		if len(targets) == 0 {
 			s.tryAdvanceCommit()
+			return
+		}
+		msg := AppendBatch{From: s.cfg.ID, Epoch: batch.Epoch, Batch: batch, CommitThrough: s.committedSN}
+		for _, t := range targets {
+			s.node.Call(t, msg, p.AckTimeout, s.makeAckHandler(sn, t))
+		}
+		rs.timer = s.node.After(p.AckTimeout+10*sim.Millisecond, "mds-ack-timeout", func() {
+			s.onAckTimeout(sn)
 		})
 	}
-	put()
-
-	if len(targets) == 0 {
-		s.tryAdvanceCommit()
-		return
+	if launchDelay > 0 {
+		s.node.After(launchDelay, "mds-journal-flush", launch)
+	} else {
+		launch()
 	}
-	msg := AppendBatch{From: s.cfg.ID, Epoch: batch.Epoch, Batch: batch, CommitThrough: s.committedSN}
-	for _, t := range targets {
-		s.node.Call(t, msg, s.cfg.Params.AckTimeout, s.makeAckHandler(batch.SN, t))
-	}
-	rs.timer = s.node.After(s.cfg.Params.AckTimeout+10*sim.Millisecond, "mds-ack-timeout", func() {
-		s.onAckTimeout(batch.SN)
-	})
 }
 
 func (s *Server) makeAckHandler(sn uint64, target simnet.NodeID) func(any, error) {
@@ -1157,8 +1331,18 @@ func (s *Server) tryAdvanceCommit() {
 		delete(s.pendingRepl, next)
 		s.committedSN = next
 		s.obsCommitted.Inc()
+		now := s.node.World().Now()
+		s.obsSealToCommit.Observe((now - rs.sealedAt).Seconds())
 		s.spans.End(rs.span, "outcome", "committed")
 		advanced = true
+		if n := len(s.waiters[next]); n > 0 && s.cfg.Params.GroupCommit {
+			// Sync-ack group commit: charge the dispatch thread for
+			// processing the commit completions and sending the replies.
+			if s.busyUntil < now {
+				s.busyUntil = now
+			}
+			s.busyUntil += sim.Time(n) * s.cfg.Params.CommitAckCost
+		}
 		for _, w := range s.waiters[next] {
 			w(nil)
 		}
@@ -1166,10 +1350,19 @@ func (s *Server) tryAdvanceCommit() {
 		s.maybeCheckpoint(next)
 	}
 	if advanced {
+		s.obsInflight.Set(float64(len(s.pendingRepl)))
+		s.obsWatermarkLag.Set(float64(s.log.LastSN() - s.committedSN))
 		// Tell standbys they may apply (piggybacked normally; the
 		// explicit notice keeps the tail moving when load pauses).
 		for _, t := range s.replTargets() {
 			s.node.Send(t, CommitNotice{Epoch: s.view.Epoch, Through: s.committedSN})
+		}
+		// Adaptive group commit: a finished replication round frees a
+		// pipeline slot — seal whatever accumulated while it was in flight.
+		if s.cfg.Params.GroupCommit && s.role == RoleActive &&
+			s.builder != nil && s.builder.Pending() > 0 &&
+			len(s.pendingRepl) < s.cfg.Params.inflightWindow() {
+			s.sealBatch()
 		}
 	}
 }
@@ -1218,6 +1411,7 @@ func (s *Server) demoteMember(id simnet.NodeID, done func()) {
 	s.emit(trace.KindState, "demote-member", "member", string(id))
 	if s.renewTarget == id {
 		s.renewTarget = ""
+		s.invalidateReplTargets()
 	}
 	s.casView(func(v *View) bool {
 		if v.States[string(id)] == RoleJunior || v.Active == string(id) {
@@ -1292,13 +1486,24 @@ func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any
 			return
 		}
 	}
+	// A newer epoch supersedes any cached-but-uncommitted prepares that
+	// overlap its sn range: the new active re-issues those sns with its own
+	// (authoritative) contents, so stale tail entries must not commit.
+	for n := len(s.pendingQueue); n > 0; n = len(s.pendingQueue) {
+		last := s.pendingQueue[n-1]
+		if last.Epoch < m.Epoch && last.SN >= m.Batch.SN {
+			s.pendingQueue = s.pendingQueue[:n-1]
+			continue
+		}
+		break
+	}
 	// Commit what the active declared committed.
 	s.applyCommitted(m.CommitThrough)
 
 	sn := m.Batch.SN
 	expected := s.log.LastSN() + 1
-	if s.pendingBatch != nil {
-		expected = s.pendingBatch.SN + 1
+	if n := len(s.pendingQueue); n > 0 {
+		expected = s.pendingQueue[n-1].SN + 1
 	}
 	switch {
 	case sn < expected:
@@ -1323,14 +1528,9 @@ func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any
 			s.busyUntil = now
 		}
 		s.busyUntil += cost
-		if s.pendingBatch != nil {
-			// Pipeline depth 1: an unacknowledged prepare is superseded by
-			// committing it (the active never sends sn+1 before sn is
-			// acked unless it re-flushed, which FIFO ordering prevents).
-			s.commitPending()
-		}
-		b := m.Batch
-		s.pendingBatch = &b
+		// Pipelined prepares: cache in sn order; only an explicit
+		// CommitThrough/CommitNotice (or failover step 2) commits them.
+		s.pendingQueue = append(s.pendingQueue, m.Batch)
 		reply(AppendAck{From: s.cfg.ID, SN: sn, OK: true, LastSN: s.effectiveSN()})
 	default:
 		// Gap: we missed batches; we cannot stay hot.
@@ -1338,16 +1538,25 @@ func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any
 	}
 }
 
-// applyCommitted applies the cached batch if the active committed it.
+// applyCommitted commits cached batches the active declared committed, in
+// sn order.
 func (s *Server) applyCommitted(through uint64) {
-	if s.pendingBatch != nil && s.pendingBatch.SN <= through {
-		s.commitPending()
+	for len(s.pendingQueue) > 0 && s.pendingQueue[0].SN <= through {
+		s.commitQueuedHead()
 	}
 }
 
-func (s *Server) commitPending() {
-	b := s.pendingBatch
-	s.pendingBatch = nil
+// commitAllQueued commits every cached batch (failover protocol step 2:
+// the elected standby "commits all cached journals").
+func (s *Server) commitAllQueued() {
+	for len(s.pendingQueue) > 0 {
+		s.commitQueuedHead()
+	}
+}
+
+func (s *Server) commitQueuedHead() {
+	b := &s.pendingQueue[0]
+	s.pendingQueue = s.pendingQueue[1:]
 	if b.SN <= s.log.LastSN() {
 		return
 	}
@@ -1383,7 +1592,7 @@ func (s *Server) onCommitNotice(m CommitNotice) {
 func (s *Server) onDemote(m Demote) {
 	if s.role == RoleStandby {
 		s.role = RoleJunior
-		s.pendingBatch = nil
+		s.pendingQueue = nil
 		s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(m.Epoch))
 	}
 }
@@ -1441,7 +1650,7 @@ func (s *Server) onRegisterAck(m RegisterAck) {
 	case RoleJunior:
 		if s.role != RoleJunior {
 			s.role = RoleJunior
-			s.pendingBatch = nil
+			s.pendingQueue = nil
 			s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(m.Epoch))
 		}
 	}

@@ -190,6 +190,9 @@ func (s *Server) applyAndJournalTxn(txn *txnState, recs []journal.Record) {
 		}
 	}
 	sn := s.log.LastSN() + 1
+	// Transaction votes always wait for full batch commit (never the
+	// AsyncAck seal path): 2PC correctness needs the records durable before
+	// the coordinator can count our vote.
 	s.waiters[sn] = append(s.waiters[sn], func(err error) {
 		if err != nil {
 			txn.failed = true
@@ -198,6 +201,7 @@ func (s *Server) applyAndJournalTxn(txn *txnState, recs []journal.Record) {
 		txn.localDone = true
 		s.maybeFinishTxn(txn)
 	})
+	s.recordsPending()
 }
 
 // sendPrepare resolves the target group's active and ships the prepare.
@@ -316,6 +320,7 @@ func (s *Server) compensateLocal(txn *txnState) {
 		u.TxID = tx
 		_ = s.tree.Apply(u)
 	}
+	s.recordsPending()
 }
 
 func (s *Server) txnTimeout(txn *txnState) {
@@ -390,6 +395,7 @@ func (s *Server) onTxnPrepare(from simnet.NodeID, m TxnPrepare, reply func(any))
 			}
 			if err := validateRecord(s.tree, r); err != nil {
 				s.preparedTxns[m.TxnID] = &preparedTxn{ok: false}
+				s.recordsPending() // earlier Noop records may already be in the builder
 				reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: err.Error()})
 				return
 			}
@@ -399,6 +405,7 @@ func (s *Server) onTxnPrepare(from simnet.NodeID, m TxnPrepare, reply func(any))
 			undo = append(undo, invertRecord(r))
 		}
 		s.preparedTxns[m.TxnID] = &preparedTxn{undo: undo, ok: true}
+		s.recordsPending()
 		reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: true})
 	})
 }
@@ -446,4 +453,5 @@ func (s *Server) onTxnAbort(m TxnAbort) {
 		u.TxID = tx
 		_ = s.tree.Apply(u)
 	}
+	s.recordsPending()
 }

@@ -271,14 +271,15 @@ func (c *Client) targets(key Key) []simnet.NodeID {
 	if c.local != nil {
 		ordered = append(ordered, c.host.ID())
 	}
-	n := len(c.pools)
-	start := int(key.Seq) % n
-	for i := 0; i < n; i++ {
-		id := c.pools[(start+i)%n]
-		if c.local != nil && id == c.host.ID() {
-			continue
+	if n := len(c.pools); n > 0 {
+		start := int(key.Seq) % n
+		for i := 0; i < n; i++ {
+			id := c.pools[(start+i)%n]
+			if c.local != nil && id == c.host.ID() {
+				continue
+			}
+			ordered = append(ordered, id)
 		}
-		ordered = append(ordered, id)
 	}
 	if len(ordered) > c.replica {
 		ordered = ordered[:c.replica]

@@ -9,7 +9,8 @@ go build ./...
 go vet ./...
 go test ./...
 # The race build runs ~10x slower; the experiments suite needs more than the
-# default 10m test timeout on small machines.
+# default 10m test timeout on small machines. This covers the tvl sweep
+# (TestTvlSpeedups, TestTvlDeterministicAcrossParallelism) under race.
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
 go test -race -timeout 40m ./internal/mams/...
 go test -race ./internal/obs/...
@@ -28,4 +29,12 @@ grep -q '"name":"failover"' "$obsdir/s.json"
 # Bounded systematic invariant sweep: crash-only single faults over a small
 # scope (7 schedules) — a smoke test for the full `mamscheck run` matrix.
 go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -q
+# Same scope with the rebuilt commit path: pipelined group commit, then
+# seal-time acks (the durability invariant flips to watermark semantics).
+go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -groupcommit -q
+go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -asyncack -q
+# Commit-path sweep smoke: regenerate the TVL table and record the cells
+# (EXPERIMENTS.md "Commit-path performance trajectory" reads this file).
+go run ./cmd/mamsbench -exp tvl -bench-out BENCH_tvl.json >/dev/null
+grep -q '"policy": "group-async"' BENCH_tvl.json
 echo "check: OK"
