@@ -79,7 +79,7 @@ func cmdRun(args []string) {
 	cfg, resolve := cfgFlags(fs)
 	members := fs.Int("members", 4, "group members eligible as fault targets")
 	maxFaults := fs.Int("maxfaults", 2, "max faults per schedule")
-	kinds := fs.String("kinds", "cud", "fault kinds to enumerate: c(rash) u(nplug) d(rop)")
+	kinds := fs.String("kinds", "cud", "fault kinds to enumerate: c(rash) u(nplug) d(rop) s(low) f(lap) k:skew b(rownout)")
 	workers := fs.Int("workers", 2, "parallel runs")
 	out := fs.String("out", "", "write the first failing schedule as an artifact here")
 	quiet := fs.Bool("q", false, "suppress per-run progress")
@@ -95,6 +95,14 @@ func cmdRun(args []string) {
 			scope.Kinds = append(scope.Kinds, check.Unplug)
 		case 'd':
 			scope.Kinds = append(scope.Kinds, check.Drop)
+		case 's':
+			scope.Kinds = append(scope.Kinds, check.Slow)
+		case 'f':
+			scope.Kinds = append(scope.Kinds, check.Flap)
+		case 'k':
+			scope.Kinds = append(scope.Kinds, check.Skew)
+		case 'b':
+			scope.Kinds = append(scope.Kinds, check.Brownout)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown fault kind %q\n", string(r))
 			os.Exit(2)

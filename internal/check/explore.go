@@ -33,7 +33,9 @@ func (sc Scope) withDefaults() Scope {
 }
 
 // Universe lists every individual action the scope admits. Drop is global,
-// so it contributes one action per step regardless of Members.
+// so it contributes one action per step regardless of Members. Gray kinds
+// enumerate at their default magnitude (Mag 0; canon fills it in) — the
+// sweep explores *which* degradations compose, not the magnitude axis.
 func (sc Scope) Universe() []Action {
 	sc = sc.withDefaults()
 	var out []Action

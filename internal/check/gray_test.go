@@ -1,0 +1,137 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestActionAlphabetRoundTripIdentity pins String → Parse → canon as the
+// identity for every letter of the fault alphabet. The gray letters carry a
+// magnitude operand; the drop letter is global and must not carry a target
+// (Parse used to tolerate one that Encode then silently erased, so two
+// different spellings named the same schedule).
+func TestActionAlphabetRoundTripIdentity(t *testing.T) {
+	identity := []string{
+		"c0@1", "c3@6",
+		"u0@1", "u2@4",
+		"d@1", "d@6",
+		"s0x6@1", "s1x2@3", "s2x12@5",
+		"f0x7@1", "f3x1@2", "f1x20@4",
+		"k0x-250@1", "k1x500@2", "k2x-900@3",
+		"b0x8@1", "b1x2@2", "b3x40@6",
+		"c0@1,u1@1,d@2,s0x6@2,f1x7@3,k2x-250@3,b3x8@4",
+	}
+	for _, enc := range identity {
+		s, err := DecodeSchedule(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", enc, err)
+		}
+		if got := s.Encode(); got != enc {
+			t.Fatalf("round trip %q → %q", enc, got)
+		}
+	}
+
+	// canon fills the default magnitude, so the short spelling decodes to
+	// the explicit one (one canonical string per action).
+	defaults := map[string]string{
+		"s0@1": "s0x6@1",
+		"f1@2": "f1x7@2",
+		"k0@1": "k0x-250@1",
+		"b2@3": "b2x8@3",
+	}
+	for in, want := range defaults {
+		s, err := DecodeSchedule(in)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", in, err)
+		}
+		if got := s.Encode(); got != want {
+			t.Fatalf("Decode(%q).Encode() = %q, want default-filled %q", in, got, want)
+		}
+	}
+
+	// canon also orders actions, so permuted spellings converge.
+	s, err := DecodeSchedule("s0x6@1,d@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Encode(); got != "d@1,s0x6@1" {
+		t.Fatalf("canonical order = %q, want %q", got, "d@1,s0x6@1")
+	}
+
+	rejected := []string{
+		"d0@1",       // drop is global; a target would alias d@1
+		"dx3@1",      // drop takes no magnitude
+		"c0x2@1",     // crash takes no magnitude
+		"u1x2@1",     // unplug takes no magnitude
+		"s@1",        // gray faults need a target
+		"sx6@1",      // ... even with a magnitude
+		"s0x1@1",     // slowdown below 2x is a no-op
+		"s0x0@1",     //
+		"b0x1@1",     // brownout below 2x is a no-op
+		"k0x0@1",     // zero drift is a no-op
+		"k0x-1000@1", // the local clock would stop
+		"f0x0@1",     // flap needs a positive down phase
+		"s0x@1",      // empty magnitude
+	}
+	for _, bad := range rejected {
+		if _, err := DecodeSchedule(bad); err == nil {
+			t.Fatalf("Decode(%q) accepted", bad)
+		}
+	}
+}
+
+// replayFixture replays a committed artifact from testdata.
+func replayFixture(t *testing.T, name string) Result {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := ReadArtifact(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Replay(a)
+}
+
+// The two gray artifacts were found by the ≤2-gray-fault sweep and shrunk
+// with mamscheck shrink. Both exercise the same seam: a loss burst plus a
+// slowed active.
+//
+// gray-slow-drop-durable: the active commits a batch on its standbys' acks,
+// then an ack timeout on the next batch demotes every standby — destroying
+// the cached copies the commit relied on — while the pool backstop write for
+// the acked batch is still in flight. The active later self-fences and
+// hard-resets, and the elected junior's pool catch-up stops at the missing
+// batch, minting conflicting serial numbers: acknowledged operations vanish.
+//
+// gray-slow-drop-heal: the slowed node's heartbeats stall until its session
+// expires during the loss burst; the one-shot lock-deleted watch pushes are
+// all swallowed by the burst, and with no re-arm path the election stalls
+// far past the heal budget.
+//
+// These tests currently pin the *failures* so the repair lands against a
+// reproducible baseline; the fix commit flips them to assert a clean heal.
+func TestGraySlowDropDurableFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second replay in -short mode")
+	}
+	r := replayFixture(t, "gray-slow-drop-durable.artifact")
+	if !r.Failed() || r.FirstInvariant() != "durable" {
+		t.Fatalf("fixture no longer reproduces: failed=%v first=%q",
+			r.Failed(), r.FirstInvariant())
+	}
+}
+
+func TestGraySlowDropHealFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second replay in -short mode")
+	}
+	r := replayFixture(t, "gray-slow-drop-heal.artifact")
+	if !r.Failed() || r.FirstInvariant() != "healed" {
+		t.Fatalf("fixture no longer reproduces: failed=%v first=%q",
+			r.Failed(), r.FirstInvariant())
+	}
+}

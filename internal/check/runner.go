@@ -7,6 +7,7 @@ import (
 	"mams/internal/fsclient"
 	"mams/internal/mams"
 	"mams/internal/sim"
+	"mams/internal/ssp"
 	"mams/internal/trace"
 	"mams/internal/workload"
 )
@@ -33,6 +34,13 @@ type Config struct {
 	// GroupCommit) and switches the durability audit to watermark semantics.
 	GroupCommit bool
 	AsyncAck    bool
+
+	// OnEnv, if set, observes the freshly-built environment before the run
+	// starts — experiments subscribe to the trace or registry here (e.g.
+	// `mamsbench -exp gray` mines "who degraded and when" from fault and
+	// check events). Not part of the replay artifact: it must not perturb
+	// the simulation.
+	OnEnv func(*cluster.Env) `json:"-"`
 }
 
 // Defaults sized for a ~1-2 s wall-clock run on one core, which is what
@@ -104,6 +112,9 @@ func RunSchedule(cfg Config, sched Schedule) Result {
 
 	env := cluster.NewEnv(cfg.Seed)
 	env.World.SetStepLimit(0) // budget enforced via RunForLimited below
+	if cfg.OnEnv != nil {
+		cfg.OnEnv(env)
+	}
 
 	params := mams.DefaultParams()
 	params.TraceAppends = true
@@ -200,6 +211,7 @@ func RunSchedule(cfg Config, sched Schedule) Result {
 	// one active plus all-hot standbys.
 	env.World.Defer("check-heal", func() {
 		injector.clearDrop()
+		injector.clearGray()
 		c.HealAll()
 	})
 	healPoll := 500 * sim.Millisecond
@@ -253,7 +265,9 @@ type injector struct {
 	c       *cluster.MAMSCluster
 	pending Schedule
 	step    int
-	dropN   int // nesting count of active drop bursts
+	dropN   int      // nesting count of active drop bursts
+	flaps   []func() // stop functions for in-flight flap cycles
+	grayed  bool     // any persistent gray fault applied (cleared at heal)
 }
 
 func (in *injector) advance() {
@@ -294,6 +308,43 @@ func (in *injector) apply(a Action) {
 				in.env.Net.SetLoss(0)
 			}
 		})
+	case Slow:
+		if a.Target < len(members) {
+			nd := members[a.Target].Node()
+			in.env.Trace.Emit(trace.KindCheck, string(nd.ID()),
+				"inject-slow", "step", fmt.Sprint(a.Step), "mag", fmt.Sprint(a.Mag))
+			nd.SetSlowdown(float64(a.Mag))
+			in.grayed = true
+		}
+	case Skew:
+		if a.Target < len(members) {
+			nd := members[a.Target].Node()
+			in.env.Trace.Emit(trace.KindCheck, string(nd.ID()),
+				"inject-skew", "step", fmt.Sprint(a.Step), "mag", fmt.Sprint(a.Mag))
+			nd.SetClockSkew(float64(a.Mag) / 1000)
+			in.grayed = true
+		}
+	case Flap:
+		if a.Target < len(members) {
+			src := members[a.Target].Node().ID()
+			in.env.Trace.Emit(trace.KindCheck, string(src),
+				"inject-flap", "step", fmt.Sprint(a.Step), "mag", fmt.Sprint(a.Mag))
+			down := sim.Time(a.Mag) * 100 * sim.Millisecond
+			for i, m := range members {
+				if i == a.Target {
+					continue
+				}
+				in.flaps = append(in.flaps, in.env.Net.Flap(src, m.Node().ID(), sim.Second, down))
+			}
+		}
+	case Brownout:
+		if a.Target < len(members) {
+			srv := members[a.Target]
+			in.env.Trace.Emit(trace.KindCheck, string(srv.Node().ID()),
+				"inject-brownout", "step", fmt.Sprint(a.Step), "mag", fmt.Sprint(a.Mag))
+			srv.Pool().SetBrownout(ssp.Brownout{SlowFactor: float64(a.Mag), FailEvery: 3})
+			in.grayed = true
+		}
 	}
 }
 
@@ -301,4 +352,24 @@ func (in *injector) apply(a Action) {
 func (in *injector) clearDrop() {
 	in.dropN = 0
 	in.env.Net.SetLoss(0)
+}
+
+// clearGray lifts every persistent gray fault at heal time: flap cycles
+// stop (healing their links), slowdown/skew/brownout reset to healthy.
+// Recovery is then judged on clean hardware, same as HealAll restarting
+// crashed processes.
+func (in *injector) clearGray() {
+	for _, stop := range in.flaps {
+		stop()
+	}
+	in.flaps = nil
+	if !in.grayed {
+		return
+	}
+	in.grayed = false
+	for _, srv := range in.c.Groups[0] {
+		srv.Node().SetSlowdown(1)
+		srv.Node().SetClockSkew(0)
+		srv.Pool().SetBrownout(ssp.Brownout{})
+	}
 }

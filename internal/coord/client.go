@@ -83,12 +83,15 @@ func (c *Client) Session() uint64 {
 func (c *Client) Expired() bool { return c.expired }
 
 // LastContact returns the time of the last successful exchange with the
-// ensemble. Servers use it as a lease: an active that has been out of
-// contact for close to the session timeout must assume its ephemerals are
-// gone and self-fence.
+// ensemble, stamped on the *host's local clock* (simnet.Node.LocalNow) —
+// a real process can only read its own clock. Servers use it as a lease:
+// an active that has been out of contact for close to the session timeout
+// must assume its ephemerals are gone and self-fence. Lease arithmetic
+// must therefore compare against LocalNow, never true virtual time, or
+// the model hides exactly the clock-skew hazard it should exhibit.
 func (c *Client) LastContact() sim.Time { return c.lastContact }
 
-func (c *Client) touch() { c.lastContact = c.host.World().Now() }
+func (c *Client) touch() { c.lastContact = c.host.LocalNow() }
 
 func (c *Client) reqID() uint64 {
 	c.nextReq++

@@ -283,6 +283,14 @@ func (s *Server) juniorCatchupFromSSP(done func()) {
 				journals = append(journals, k)
 			}
 		}
+		var lo, hi uint64
+		if len(journals) > 0 {
+			lo, hi = journals[0].Seq, journals[len(journals)-1].Seq
+		}
+		s.emit(trace.KindFailover, "catchup-list",
+			"journals", fmt.Sprint(len(journals)), "lo", fmt.Sprint(lo),
+			"hi", fmt.Sprint(hi), "image", fmt.Sprint(bestImage.Seq),
+			"mysn", fmt.Sprint(s.log.LastSN()))
 		afterImage := func() {
 			s.replayPoolJournals(journals, done)
 		}

@@ -1130,7 +1130,9 @@ func (s *Server) leaseLapsed() bool {
 	if fence < s.cfg.CoordHeartbeat {
 		fence = s.cfg.CoordHeartbeat
 	}
-	return s.node.World().Now()-s.coordCli.LastContact() > fence
+	// Measured on the local clock — LastContact is stamped with LocalNow,
+	// and a real server has no other clock to compare it against.
+	return s.node.LocalNow()-s.coordCli.LastContact() > fence
 }
 
 // replTargets are the members that must ack every batch: the standbys in
@@ -1240,9 +1242,11 @@ func (s *Server) sealBatch() {
 					// A failed pool write is not durability: this write is the
 					// backstop for batches no standby holds (and the whole point
 					// of SyncSSP mode). Retry while the batch is pending.
+					s.emit(trace.KindJournal, "ssp-put-retry", "sn", fmt.Sprint(sn), "err", err.Error())
 					s.node.After(100*sim.Millisecond, "mams-ssp-retry", put)
 					return
 				}
+				s.emit(trace.KindJournal, "ssp-put-ok", "sn", fmt.Sprint(sn))
 				rs.sspDone = true
 				rs.sspPending = false
 				s.tryAdvanceCommit()

@@ -10,6 +10,8 @@
 //   - Unplug/Replug: the NIC goes dark (the paper's "take out network
 //     wires" fault); the process keeps running but nothing gets in or out.
 //   - Cut/Heal: directional link partitions between node pairs.
+//   - Gray failures (gray.go): per-node slowdown and clock skew, flapping
+//     one-directional cuts — degradation without a clean "down" signal.
 //
 // The simulation is single-threaded: handlers run to completion and may
 // schedule further events, but never race.
@@ -316,6 +318,13 @@ type Node struct {
 
 	nextCall uint64
 	pending  map[uint64]*pendingCall
+
+	// Gray-failure state (see gray.go). Zero values mean healthy: no timer
+	// stretch, an honest clock. Survives Crash/Restart — it models hardware.
+	slowdown  float64  // local timer stretch; 0 or <=1 = none
+	drift     float64  // clock rate skew; local rate is (1+drift)
+	localBase sim.Time // LocalNow() at the moment drift last changed
+	skewSince sim.Time // true time at the moment drift last changed
 }
 
 // ID returns the node's name.
@@ -376,6 +385,9 @@ func (nd *Node) Call(to NodeID, req any, timeout sim.Time, cb func(resp any, err
 	id := nd.nextCall
 	pc := &pendingCall{cb: cb}
 	if timeout > 0 {
+		// The deadline is measured on the node's local clock: a skewed-fast
+		// node gives up on RPCs early relative to true time (gray.go).
+		timeout = nd.stretchTimeout(timeout)
 		gen := nd.gen
 		pc.timer = nd.net.world.After(timeout, "rpc-timeout:"+string(nd.id), func() {
 			if nd.gen != gen || !nd.up {
@@ -437,8 +449,11 @@ func (nd *Node) deliver(from NodeID, env envelope) {
 }
 
 // After schedules fn on this node's behalf; it silently does not fire if the
-// node has crashed or restarted in the meantime.
+// node has crashed or restarted in the meantime. d is a *local* duration:
+// slowdown stretches it and clock skew rescales it (gray.go), so a degraded
+// or skewed node's timers fire late or early in true virtual time.
 func (nd *Node) After(d sim.Time, name string, fn func()) *sim.Timer {
+	d = nd.stretchTimer(d)
 	gen := nd.gen
 	return nd.net.world.After(d, string(nd.id)+":"+name, func() {
 		if nd.up && nd.gen == gen {

@@ -1,0 +1,62 @@
+package ssp
+
+import (
+	"testing"
+
+	"mams/internal/sim"
+)
+
+// A browned-out replica that slows far past the size-scaled put timeout must
+// fail the Put at that timeout (~10s for a journal-sized object), not at the
+// flat 120s worst case: the active's sole-owner commit backstop retries on
+// error, so the put deadline bounds how long an acked op can stall.
+func TestBrownoutPutBoundedBySizeScaledTimeout(t *testing.T) {
+	e := newSSPEnv(t, 2, 2)
+	e.hosts[1].pool.SetBrownout(Brownout{SlowFactor: 1e5})
+	key := Key{Group: "g1", Kind: KindJournal, Seq: 1}
+	var putErr error
+	var doneAt sim.Time
+	done := false
+	e.hosts[0].client.Put(key, []byte("batch"), 64, func(err error) {
+		putErr, doneAt, done = err, e.world.Now(), true
+	})
+	e.world.RunFor(200 * sim.Second)
+	if !done || putErr == nil {
+		t.Fatalf("put done=%v err=%v, want a timeout error", done, putErr)
+	}
+	if doneAt > 11*sim.Second {
+		t.Fatalf("put failed at %v, want ~10s (size-scaled), not the flat 120s cap", doneAt)
+	}
+}
+
+// Partial brownout failures surface as prompt errors, not hangs: the pool
+// node answers (late) with ErrBrownout instead of silently dropping the op.
+func TestBrownoutPartialFailuresSurfaceQuickly(t *testing.T) {
+	e := newSSPEnv(t, 2, 2)
+	e.hosts[1].pool.SetBrownout(Brownout{SlowFactor: 4, FailEvery: 1})
+	key := Key{Group: "g1", Kind: KindJournal, Seq: 1}
+	var putErr error
+	var doneAt sim.Time
+	done := false
+	e.hosts[0].client.Put(key, []byte("batch"), 64, func(err error) {
+		putErr, doneAt, done = err, e.world.Now(), true
+	})
+	e.world.RunFor(200 * sim.Second)
+	if !done || putErr == nil {
+		t.Fatalf("put done=%v err=%v, want ErrBrownout surfaced", done, putErr)
+	}
+	if putErr.Error() != ErrBrownout.Error() {
+		t.Fatalf("put error = %v, want %v", putErr, ErrBrownout)
+	}
+	if doneAt > sim.Second {
+		t.Fatalf("brownout failure surfaced at %v, want promptly", doneAt)
+	}
+	// The healthy local replica still stored its copy; only the browned-out
+	// remote failed. Probes (Has) stay reliable — brownout is not hard-down.
+	if !e.hosts[0].pool.Has(key) {
+		t.Fatal("local pool node missing the object")
+	}
+	if got := e.hosts[1].pool.Brownout(); got.FailEvery != 1 {
+		t.Fatalf("Brownout() = %+v", got)
+	}
+}

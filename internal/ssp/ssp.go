@@ -44,7 +44,30 @@ type Key struct {
 var (
 	ErrNotFound = errors.New("ssp: object not found")
 	ErrNoPool   = errors.New("ssp: no pool node reachable")
+	// ErrBrownout reports a transient data-path failure on a browned-out
+	// pool node. Callers retry; the node is not down.
+	ErrBrownout = errors.New("ssp: brownout transient failure")
 )
+
+// Brownout describes degraded-but-up pool service: data operations (store,
+// fetch, local read) take SlowFactor× longer and every FailEvery'th one
+// fails outright with ErrBrownout. Cheap metadata probes (has, list,
+// delete) stay fast and reliable on purpose — a browned-out pool passes
+// every liveness check while starving the data path, which is exactly what
+// makes brownouts gray rather than hard-down. The zero value is healthy.
+type Brownout struct {
+	SlowFactor float64 // ≥1 stretches data-op service time; <=1 = none
+	FailEvery  int     // every Nth data op errors; 0 = never
+}
+
+func (b Brownout) active() bool { return b.SlowFactor > 1 || b.FailEvery > 0 }
+
+func (b Brownout) stretch(cost sim.Time) sim.Time {
+	if b.SlowFactor > 1 {
+		return sim.Time(float64(cost) * b.SlowFactor)
+	}
+	return cost
+}
 
 // Params models pool node hardware (a GbE testbed node of the paper's era).
 type Params struct {
@@ -132,6 +155,9 @@ type PoolNode struct {
 	host    *simnet.Node
 	params  Params
 	objects map[Key]object
+
+	brown    Brownout
+	brownOps int // data-op counter driving deterministic FailEvery failures
 }
 
 // NewPoolNode attaches pool storage to a host process.
@@ -139,12 +165,55 @@ func NewPoolNode(host *simnet.Node, params Params) *PoolNode {
 	return &PoolNode{host: host, params: params, objects: map[Key]object{}}
 }
 
+// SetBrownout puts the node in (or takes it out of) brownout mode. Passing
+// the zero value restores healthy service.
+func (p *PoolNode) SetBrownout(b Brownout) {
+	p.brown = b
+	shown := b.SlowFactor
+	if shown <= 1 {
+		shown = 1
+	}
+	if !b.active() {
+		shown = 1
+	}
+	p.host.Net().Obs().Gauge("mams_ssp_brownout_factor",
+		"Pool data-path slowdown per node (1 = healthy).",
+		"node", string(p.host.ID())).Set(shown)
+}
+
+// Brownout returns the node's current brownout configuration.
+func (p *PoolNode) Brownout() Brownout { return p.brown }
+
+// brownFail charges one data op against the brownout failure schedule and
+// reports whether this op must fail. Deterministic: every FailEvery'th op.
+func (p *PoolNode) brownFail() bool {
+	if !p.brown.active() || p.brown.FailEvery <= 0 {
+		return false
+	}
+	p.brownOps++
+	if p.brownOps%p.brown.FailEvery != 0 {
+		return false
+	}
+	p.host.Net().Obs().Counter("mams_ssp_brownout_failures_total",
+		"Data ops failed by brownout mode per pool node.",
+		"node", string(p.host.ID())).Inc()
+	return true
+}
+
 // MaybeHandleRequest serves pool RPCs addressed to the host. Hosts call it
 // from HandleRequest and skip requests it consumed.
 func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(any)) bool {
 	switch m := req.(type) {
 	case storeReq:
-		cost := p.params.writeCost(m.Size)
+		cost := p.brown.stretch(p.params.writeCost(m.Size))
+		if p.brownFail() {
+			// The write grinds for its (degraded) service time and then
+			// errors — the slow-failure shape that defeats fast failover.
+			p.host.After(cost, "ssp-store-brownout", func() {
+				reply(storeResp{Err: ErrBrownout.Error()})
+			})
+			return true
+		}
 		p.host.After(cost, "ssp-store", func() {
 			p.objects[m.Key] = object{data: append([]byte(nil), m.Data...), size: m.Size}
 			reply(storeResp{})
@@ -159,6 +228,13 @@ func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(an
 		cost := p.params.readCost(obj.size)
 		if from != p.host.ID() {
 			cost += p.params.transferCost(obj.size)
+		}
+		cost = p.brown.stretch(cost)
+		if p.brownFail() {
+			p.host.After(cost, "ssp-fetch-brownout", func() {
+				reply(fetchResp{Err: ErrBrownout.Error()})
+			})
+			return true
 		}
 		p.host.After(cost, "ssp-fetch", func() {
 			reply(fetchResp{Data: append([]byte(nil), obj.data...), Size: obj.size})
@@ -203,7 +279,12 @@ func (p *PoolNode) LocalGet(key Key, cb func(data []byte, size int64, err error)
 		p.host.After(0, "ssp-localget-miss", func() { cb(nil, 0, ErrNotFound) })
 		return
 	}
-	p.host.After(p.params.readCost(obj.size), "ssp-localget", func() {
+	cost := p.brown.stretch(p.params.readCost(obj.size))
+	if p.brownFail() {
+		p.host.After(cost, "ssp-localget-brownout", func() { cb(nil, 0, ErrBrownout) })
+		return
+	}
+	p.host.After(cost, "ssp-localget", func() {
 		cb(append([]byte(nil), obj.data...), obj.size, nil)
 	})
 }
