@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|all")
+		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|gray|all")
 		seed        = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
 		ops         = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
 		trials      = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
@@ -133,6 +133,13 @@ func main() {
 			fmt.Println(experiments.AblationBatchInterval(opts))
 			fmt.Println(experiments.AblationSyncSSP(opts))
 			fmt.Println(experiments.AblationPartitioning(opts))
+		case "gray":
+			g := experiments.Gray(opts)
+			fmt.Println(g)
+			if g.Failed() {
+				fmt.Fprintln(os.Stderr, "gray: invariant violations in audited MAMS runs")
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

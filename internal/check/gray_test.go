@@ -97,31 +97,41 @@ func replayFixture(t *testing.T, name string) Result {
 }
 
 // The two gray artifacts were found by the ≤2-gray-fault sweep and shrunk
-// with mamscheck shrink. Both exercise the same seam: a loss burst plus a
-// slowed active.
+// with mamscheck shrink. Both exercise the same seam — a loss burst plus a
+// slowed active — and between them they pinned four distinct protocol bugs
+// (git history holds the pre-fix versions of these tests asserting the
+// violations):
 //
-// gray-slow-drop-durable: the active commits a batch on its standbys' acks,
-// then an ack timeout on the next batch demotes every standby — destroying
-// the cached copies the commit relied on — while the pool backstop write for
-// the acked batch is still in flight. The active later self-fences and
-// hard-resets, and the elected junior's pool catch-up stops at the missing
-// batch, minting conflicting serial numbers: acknowledged operations vanish.
+// gray-slow-drop-durable: a batch commits on its standbys' acks, then an
+// ack timeout on the next batch demotes every standby — destroying the
+// cached copies the commit relied on — while the pool backstop write for
+// the acked batch is still in flight. The deposed active's put-retry loop
+// then overwrites the successor's sn space. Fixed by holding laggard
+// fences until the pool-durability watermark catches the commit watermark
+// (fenceLaggard/notePoolDurable), by stopping backstop retries on
+// deposition, and by waiting out pool catch-up holes (catchup-gap) that an
+// in-flight backstop write will fill.
 //
-// gray-slow-drop-heal: the slowed node's heartbeats stall until its session
-// expires during the loss burst; the one-shot lock-deleted watch pushes are
-// all swallowed by the burst, and with no re-arm path the election stalls
-// far past the heal budget.
+// gray-slow-drop-heal: a takeover view that demotes a member races its
+// registration with the new active; the member obeys the stale demotion
+// locally while the view lists it standby, a split neither the renew scan
+// (view-driven) nor any push resolves — it idles as a junior past the heal
+// budget. Fixed by re-registering on role/view splits (adoptView case +
+// sanity-loop backstop) and by refusing Demote orders from stale epochs.
+// The same run also lost acked ops through §IV.C duplicate handling: a
+// retried create answered "exists" from sealed-but-uncommitted tree state,
+// which the client rightly treats as success; failOpAtBarrier now holds
+// state-dependent error replies until the observed state commits.
 //
-// These tests currently pin the *failures* so the repair lands against a
-// reproducible baseline; the fix commit flips them to assert a clean heal.
+// Both replays must now stay violation-free and heal inside the budget.
 func TestGraySlowDropDurableFixture(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second replay in -short mode")
 	}
 	r := replayFixture(t, "gray-slow-drop-durable.artifact")
-	if !r.Failed() || r.FirstInvariant() != "durable" {
-		t.Fatalf("fixture no longer reproduces: failed=%v first=%q",
-			r.Failed(), r.FirstInvariant())
+	if r.Failed() || !r.Healed {
+		t.Fatalf("fixture regressed: failed=%v healed=%v violations=%v",
+			r.Failed(), r.Healed, r.Violations)
 	}
 }
 
@@ -130,8 +140,27 @@ func TestGraySlowDropHealFixture(t *testing.T) {
 		t.Skip("multi-second replay in -short mode")
 	}
 	r := replayFixture(t, "gray-slow-drop-heal.artifact")
-	if !r.Failed() || r.FirstInvariant() != "healed" {
-		t.Fatalf("fixture no longer reproduces: failed=%v first=%q",
-			r.Failed(), r.FirstInvariant())
+	if r.Failed() || !r.Healed {
+		t.Fatalf("fixture regressed: failed=%v healed=%v violations=%v",
+			r.Failed(), r.Healed, r.Violations)
+	}
+}
+
+// gray-flap-converge was found by the `mamsbench -exp gray` audit (a seed
+// the sweep's fixed seed missed): a link flap on the active drops the
+// CommitNotice for the final batch, load stops, and the standby holds the
+// tail cached-but-uncommitted forever — roles heal, but its tree digest
+// stays one sn behind the active's ("converged" violation). Fixed by
+// re-advertising the commit watermark from the active's sanity loop
+// (resendCommitWatermark), which makes notice delivery converging once
+// links heal.
+func TestGrayFlapConvergeFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second replay in -short mode")
+	}
+	r := replayFixture(t, "gray-flap-converge.artifact")
+	if r.Failed() || !r.Healed {
+		t.Fatalf("fixture regressed: failed=%v healed=%v violations=%v",
+			r.Failed(), r.Healed, r.Violations)
 	}
 }

@@ -224,7 +224,7 @@ func (m *Monitor) CheckDurable(results []fsclient.Result, cutoff sim.Time) (chec
 		checked++
 		if !active.Tree().Exists(r.Path) {
 			m.record("durable", string(active.Node().ID()),
-				fmt.Sprintf("acked %s (at %v) missing", r.Path, r.End))
+				fmt.Sprintf("acked %s (at %v, sn %d epoch %d) missing", r.Path, r.End, r.SN, r.Epoch))
 		}
 	}
 	return checked

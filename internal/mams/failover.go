@@ -257,6 +257,17 @@ func (s *Server) reflushTail(epoch uint64) {
 // holds beyond our position, after loading the newest checkpoint image if
 // our gap crosses one.
 func (s *Server) juniorCatchupFromSSP(done func()) {
+	s.catchupAttempt(0, done)
+}
+
+// catchupAttempt is one List+replay round. When the replay stops at a hole
+// below the pool's tail, the previous active's backstop write for that sn
+// may still be in flight (put deadlines reach ~10s on journal-sized
+// objects): serving from the truncated position would mint conflicting
+// serial numbers for everything above the hole, so retry the whole round
+// until the hole fills or the retry budget (40 × 300ms, comfortably past
+// the put deadline) is spent.
+func (s *Server) catchupAttempt(gapTries int, done func()) {
 	s.sspc.List(s.cfg.Group, func(keys []ssp.Key, sizes map[ssp.Key]int64, err error) {
 		if err != nil {
 			// Serving without the pool's tail would mint new batches that
@@ -266,7 +277,7 @@ func (s *Server) juniorCatchupFromSSP(done func()) {
 			// process, and a competing member takes over if we stall.
 			s.node.After(100*sim.Millisecond, "mams-catchup-retry", func() {
 				if !s.stopped {
-					s.juniorCatchupFromSSP(done)
+					s.catchupAttempt(gapTries, done)
 				}
 			})
 			return
@@ -292,7 +303,19 @@ func (s *Server) juniorCatchupFromSSP(done func()) {
 			"hi", fmt.Sprint(hi), "image", fmt.Sprint(bestImage.Seq),
 			"mysn", fmt.Sprint(s.log.LastSN()))
 		afterImage := func() {
-			s.replayPoolJournals(journals, done)
+			s.replayPoolJournals(journals, func(gapAt uint64) {
+				if gapAt > 0 && gapTries < 40 && !s.stopped {
+					s.emit(trace.KindFailover, "catchup-gap",
+						"sn", fmt.Sprint(gapAt), "try", fmt.Sprint(gapTries))
+					s.node.After(300*sim.Millisecond, "mams-catchup-gap", func() {
+						if !s.stopped {
+							s.catchupAttempt(gapTries+1, done)
+						}
+					})
+					return
+				}
+				done()
+			})
 		}
 		if bestImage.Seq > s.log.LastSN() {
 			s.sspc.Get(bestImage, func(data []byte, size int64, gerr error) {
@@ -314,7 +337,10 @@ func (s *Server) juniorCatchupFromSSP(done func()) {
 }
 
 // replayPoolJournals fetches and applies contiguous batches above our sn.
-func (s *Server) replayPoolJournals(keys []ssp.Key, done func()) {
+// done receives the sn of the first missing batch when the replay stopped
+// at a hole below the pool's tail (the caller may want to wait for an
+// in-flight backstop write to fill it), or 0 when the tail was reached.
+func (s *Server) replayPoolJournals(keys []ssp.Key, done func(gapAt uint64)) {
 	idx := 0
 	var step func()
 	step = func() {
@@ -324,7 +350,11 @@ func (s *Server) replayPoolJournals(keys []ssp.Key, done func()) {
 			idx++
 		}
 		if idx >= len(keys) || keys[idx].Seq != next {
-			done()
+			if idx < len(keys) && keys[idx].Seq > next {
+				done(next) // hole below the pool tail
+			} else {
+				done(0)
+			}
 			return
 		}
 		key := keys[idx]
@@ -346,12 +376,12 @@ func (s *Server) replayPoolJournals(keys []ssp.Key, done func()) {
 				}
 				b, derr := journal.DecodeBatch(data)
 				if derr != nil || b.SN != next {
-					done()
+					done(0)
 					return
 				}
 				if aerr := s.tree.ApplyBatch(b); aerr != nil {
 					s.emit(trace.KindJournal, "ssp-replay-error", "err", aerr.Error())
-					done()
+					done(0)
 					return
 				}
 				if s.log.Append(b) == nil {

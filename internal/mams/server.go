@@ -83,6 +83,13 @@ type replState struct {
 	sspDone bool
 }
 
+// heldFence is a laggard demotion deferred until the pool-durability
+// watermark catches up to the commit watermark (see fenceLaggard).
+type heldFence struct {
+	rs *replState
+	id simnet.NodeID
+}
+
 type queuedOp struct {
 	from  simnet.NodeID
 	op    ClientOp
@@ -112,6 +119,15 @@ type Server struct {
 	// Active-side replication.
 	pendingRepl map[uint64]*replState
 	committedSN uint64
+	// poolDurableSN is the contiguous prefix of sealed batches whose
+	// backstop pool writes have landed; poolPutOK holds out-of-order
+	// completions above it. A batch that committed on standby acks may
+	// exist only in standby caches until its pool write lands — demoting
+	// those standbys in that window would destroy every surviving copy, so
+	// fences queue in heldFences while poolDurableSN < committedSN.
+	poolDurableSN uint64
+	poolPutOK     map[uint64]bool
+	heldFences    []heldFence
 	waiters     map[uint64][]func(err error)
 	// sealWaiters fire when their batch seals (AsyncAck replies); waiters
 	// fire when it commits.
@@ -410,6 +426,9 @@ func (s *Server) armSanityLoop() {
 		}
 		if s.role != RoleActive && !s.upgrading {
 			s.armLockAliveWatches()
+			s.reconcileRoleWithView()
+		} else if s.role == RoleActive {
+			s.resendCommitWatermark()
 		}
 		s.node.After(5*sim.Second, "mams-sanity", loop)
 	}
@@ -469,6 +488,12 @@ func (s *Server) becomeActiveNow(epoch uint64) {
 	s.upgrading = false
 	s.builder = journal.NewBuilder(epoch, s.log.LastSN(), s.lastTx)
 	s.committedSN = s.log.LastSN()
+	// Everything up to here is in our log (and, for batches inherited from
+	// a takeover, in the demoted members' logs) — only batches we seal from
+	// now on can be cache-only, so the pool watermark starts clean.
+	s.poolDurableSN = s.committedSN
+	s.poolPutOK = make(map[uint64]bool)
+	s.heldFences = nil
 	s.invalidateReplTargets()
 	s.emit(trace.KindState, "become-active", "epoch", fmt.Sprint(epoch), "sn", fmt.Sprint(s.log.LastSN()))
 	// The batch timer arms lazily on the first record after a seal; the
@@ -598,6 +623,14 @@ func (s *Server) adoptView(v View, ver int64) {
 		s.role = RoleJunior
 		s.pendingQueue = nil
 		s.emit(trace.KindState, "demoted-junior", "epoch", fmt.Sprint(v.Epoch))
+	case v.States[me] == RoleStandby && s.role == RoleJunior &&
+		!s.renewing && v.Active != "" && v.Active != me:
+		// The view believes we are a standby but we demoted locally (a
+		// reordered watch push, or a takeover view that arrived after our
+		// registration). The renew scan only heals view-juniors, so this
+		// split never converges on its own: re-register and let the active
+		// re-classify us by sn.
+		s.sendRegister(simnet.NodeID(v.Active), 0)
 	}
 	// A new active appeared: every member registers (Fig. 4 step 5).
 	if v.Active != "" && v.Active != prev.Active && v.Active != me && s.role != RoleActive {
@@ -607,6 +640,18 @@ func (s *Server) adoptView(v View, ver int64) {
 	// about this view (the coordination service deduplicates one-shot
 	// watch registrations per session, so this is idempotent).
 	s.armLockAliveWatches()
+}
+
+// reconcileRoleWithView is the periodic backstop for role/view splits when
+// the healing watch push itself was lost: a local junior the view lists as
+// standby re-registers so the active can re-classify it by sn (adoptView
+// handles the push-delivered case).
+func (s *Server) reconcileRoleWithView() {
+	me := string(s.cfg.ID)
+	if s.role == RoleJunior && !s.renewing &&
+		s.view.States[me] == RoleStandby && s.view.Active != "" && s.view.Active != me {
+		s.sendRegister(simnet.NodeID(s.view.Active), 0)
+	}
 }
 
 // armLockAliveWatches (re-)installs the lock watcher and the watcher on
@@ -975,6 +1020,32 @@ func (s *Server) finishOp(op ClientOp, rep OpReply, reply func(any)) {
 	reply(rep)
 }
 
+// failOpAtBarrier replies a state-dependent application error (exists /
+// not-found) only once the state the validation observed is committed. The
+// active's tree includes sealed-but-uncommitted and even unsealed records;
+// answering "exists" from that state is a durability claim the client is
+// entitled to rely on (§IV.C treats exists/not-found on a retry as proof
+// the original mutation took effect), so the answer must not outlive the
+// batch it was derived from. If that batch dies with our activeness, the
+// client is redirected to retry against the successor's recovered state.
+func (s *Server) failOpAtBarrier(op ClientOp, errStr string, reply func(any)) {
+	barrier := s.log.LastSN()
+	if s.builder != nil && s.builder.Pending() > 0 {
+		barrier++ // unsealed records ride in the next batch
+	}
+	if barrier <= s.committedSN {
+		s.finishOp(op, OpReply{Err: errStr}, reply)
+		return
+	}
+	s.waiters[barrier] = append(s.waiters[barrier], func(err error) {
+		if err != nil {
+			reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+			return
+		}
+		s.finishOp(op, OpReply{Err: errStr}, reply)
+	})
+}
+
 // executeOp runs an operation after its queueing delay.
 func (s *Server) executeOp(op ClientOp, reply func(any)) {
 	if s.role != RoleActive || s.builder == nil {
@@ -1018,7 +1089,7 @@ func validateRecord(t *namespace.Tree, rec journal.Record) error {
 func (s *Server) applyAndJournal(op ClientOp, recs []journal.Record, reply func(any)) {
 	for i := range recs {
 		if err := validateRecord(s.tree, recs[i]); err != nil {
-			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			s.failOpAtBarrier(op, err.Error(), reply)
 			return
 		}
 		tx := s.builder.Add(recs[i])
@@ -1101,7 +1172,7 @@ func (s *Server) armFenceLoop() {
 		return
 	}
 	s.fenceLoopOn = true
-	const every = 250 * sim.Millisecond
+	_, every := s.fenceParams()
 	var loop func()
 	loop = func() {
 		if s.stopped || s.role != RoleActive {
@@ -1119,20 +1190,40 @@ func (s *Server) armFenceLoop() {
 	s.node.After(every, "mams-fence-check", loop)
 }
 
+// fenceParams derives the self-fence lease budget and check cadence from
+// the coordination session parameters (they used to be hardcoded, which
+// silently broke deployments with a shorter session timeout): the slack
+// between one heartbeat and session expiry is the window in which we must
+// notice lost contact, so the budget spends a quarter of it on top of one
+// heartbeat interval and the check loop samples it at an eighth.
+func (s *Server) fenceParams() (budget, every sim.Time) {
+	hb := s.cfg.CoordHeartbeat
+	margin := s.cfg.CoordSessionTimeout - 2*hb
+	if margin < 0 {
+		margin = 0
+	}
+	budget = hb + margin/4
+	every = margin / 8
+	if every < 5*sim.Millisecond {
+		every = 5 * sim.Millisecond
+	}
+	if every > 250*sim.Millisecond {
+		every = 250 * sim.Millisecond
+	}
+	return budget, every
+}
+
 // leaseLapsed reports whether the active's coordination lease expired: no
-// successful ensemble contact within (session timeout - heartbeat), the
-// margin that guarantees we fence before any successor can be elected.
+// successful ensemble contact within the derived budget, which guarantees
+// we fence before any successor can be elected.
 func (s *Server) leaseLapsed() bool {
 	if s.role != RoleActive {
 		return false
 	}
-	fence := s.cfg.CoordSessionTimeout - s.cfg.CoordHeartbeat
-	if fence < s.cfg.CoordHeartbeat {
-		fence = s.cfg.CoordHeartbeat
-	}
+	budget, _ := s.fenceParams()
 	// Measured on the local clock — LastContact is stamped with LocalNow,
 	// and a real server has no other clock to compare it against.
-	return s.node.LocalNow()-s.coordCli.LastContact() > fence
+	return s.node.LocalNow()-s.coordCli.LastContact() > budget
 }
 
 // replTargets are the members that must ack every batch: the standbys in
@@ -1155,6 +1246,23 @@ func (s *Server) replTargets() []simnet.NodeID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	s.replCache, s.replCacheOK = out, true
 	return out
+}
+
+// resendCommitWatermark re-advertises the commit watermark to the hot
+// standbys. The per-commit CommitNotice is a single one-way send; on a
+// flapping link the last notice before load pauses can vanish, leaving the
+// standby holding the tail batch cached but never committed — its tree
+// digest then diverges from the active's for as long as the system stays
+// idle. Re-sending from the sanity loop makes the watermark converging:
+// once links heal, every standby commits the cached tail within one loop
+// period. Duplicate notices are harmless (applyCommitted is idempotent).
+func (s *Server) resendCommitWatermark() {
+	if s.committedSN == 0 {
+		return
+	}
+	for _, t := range s.replTargets() {
+		s.node.Send(t, CommitNotice{Epoch: s.view.Epoch, Through: s.committedSN})
+	}
 }
 
 func (s *Server) sealBatch() {
@@ -1233,18 +1341,32 @@ func (s *Server) sealBatch() {
 		rs.sspPending = p.SyncSSP
 		var put func()
 		put = func() {
+			if s.stopped || s.role != RoleActive {
+				// Deposed: a successor owns the sn space now, and a zombie
+				// retry landing late would overwrite its batch in the pool.
+				return
+			}
 			s.sspc.Put(ssp.Key{Group: s.cfg.Group, Kind: ssp.KindJournal, Seq: sn}, enc, int64(len(enc)), func(err error) {
-				cur, ok := s.pendingRepl[sn]
-				if !ok || cur != rs {
-					return // already committed via standby acks, or we stepped down
-				}
 				if err != nil {
-					// A failed pool write is not durability: this write is the
-					// backstop for batches no standby holds (and the whole point
-					// of SyncSSP mode). Retry while the batch is pending.
+					// A failed pool write is not durability: this write is
+					// the backstop for batches no standby holds (the whole
+					// point of SyncSSP mode), and the fence watermark waits
+					// on it even after the batch commits on standby acks.
+					// Retry while we are the active and the watermark still
+					// needs this sn.
+					if s.stopped || s.role != RoleActive || sn <= s.poolDurableSN {
+						return
+					}
 					s.emit(trace.KindJournal, "ssp-put-retry", "sn", fmt.Sprint(sn), "err", err.Error())
 					s.node.After(100*sim.Millisecond, "mams-ssp-retry", put)
 					return
+				}
+				// Advance the watermark even for batches that already
+				// committed on standby acks: held fences wait on it.
+				s.notePoolDurable(sn)
+				cur, ok := s.pendingRepl[sn]
+				if !ok || cur != rs {
+					return // already committed via standby acks, or we stepped down
 				}
 				s.emit(trace.KindJournal, "ssp-put-ok", "sn", fmt.Sprint(sn))
 				rs.sspDone = true
@@ -1388,10 +1510,51 @@ func (s *Server) onAckTimeout(sn uint64) {
 // commit pipeline.
 func (s *Server) fenceLaggard(rs *replState, id simnet.NodeID) {
 	rs.fencing++
+	if s.poolDurableSN < s.committedSN {
+		// A batch that committed on this member's ack may still live only
+		// in standby caches (the backstop pool write is in flight), and
+		// demotion destroys the member's cache. Hold the fence until the
+		// pool watermark catches up; commits for the fenced batch stay
+		// blocked behind rs.fencing either way.
+		s.heldFences = append(s.heldFences, heldFence{rs: rs, id: id})
+		s.emit(trace.KindState, "fence-held", "member", string(id),
+			"pooldurable", fmt.Sprint(s.poolDurableSN),
+			"committed", fmt.Sprint(s.committedSN))
+		return
+	}
+	s.fenceNow(rs, id)
+}
+
+func (s *Server) fenceNow(rs *replState, id simnet.NodeID) {
 	s.demoteMember(id, func() {
 		rs.fencing--
 		s.tryAdvanceCommit()
 	})
+}
+
+// notePoolDurable records a landed pool write and advances the contiguous
+// watermark, releasing any fences waiting on it.
+func (s *Server) notePoolDurable(sn uint64) {
+	if s.role != RoleActive || sn <= s.poolDurableSN {
+		return
+	}
+	s.poolPutOK[sn] = true
+	for s.poolPutOK[s.poolDurableSN+1] {
+		delete(s.poolPutOK, s.poolDurableSN+1)
+		s.poolDurableSN++
+	}
+	s.releaseHeldFences()
+}
+
+func (s *Server) releaseHeldFences() {
+	if s.poolDurableSN < s.committedSN || len(s.heldFences) == 0 {
+		return
+	}
+	held := s.heldFences
+	s.heldFences = nil
+	for _, h := range held {
+		s.fenceNow(h.rs, h.id)
+	}
 }
 
 // demoteMember marks a group member junior in the view and notifies it.
@@ -1594,6 +1757,15 @@ func (s *Server) onCommitNotice(m CommitNotice) {
 }
 
 func (s *Server) onDemote(m Demote) {
+	if m.Epoch < s.view.Epoch {
+		// A deposed active's demotion, delayed past its epoch (e.g. by a
+		// loss burst): we already re-registered with the successor, which
+		// re-classified us by sn. Obeying the stale order would wedge us as
+		// a local junior the new active's renew scan cannot see.
+		s.emit(trace.KindState, "stale-demote-ignored",
+			"epoch", fmt.Sprint(m.Epoch), "current", fmt.Sprint(s.view.Epoch))
+		return
+	}
 	if s.role == RoleStandby {
 		s.role = RoleJunior
 		s.pendingQueue = nil

@@ -122,10 +122,13 @@ func (s *Server) executeStructuralOp(op ClientOp, reply func(any)) {
 			s.finishOp(op, OpReply{Err: "mams: wrong coordinator group"}, reply)
 			return
 		}
-		// Validate first so failures never enter the journal.
+		// Validate first so failures never enter the journal. State-
+		// dependent failures wait for the observed state to commit (see
+		// failOpAtBarrier): "exists" from an uncommitted create is a
+		// durability claim the client will rely on.
 		for _, r := range localRecs {
 			if err := validateRecord(s.tree, r); err != nil {
-				s.finishOp(op, OpReply{Err: err.Error()}, reply)
+				s.failOpAtBarrier(op, err.Error(), reply)
 				return
 			}
 		}
@@ -137,7 +140,7 @@ func (s *Server) executeStructuralOp(op ClientOp, reply func(any)) {
 	// plan's lead group).
 	for _, r := range localRecs {
 		if err := validateRecord(s.tree, r); err != nil {
-			s.finishOp(op, OpReply{Err: err.Error()}, reply)
+			s.failOpAtBarrier(op, err.Error(), reply)
 			return
 		}
 	}

@@ -60,3 +60,29 @@ func TestBrownoutPartialFailuresSurfaceQuickly(t *testing.T) {
 		t.Fatalf("Brownout() = %+v", got)
 	}
 }
+
+// A Get whose local replica fails (brownout) must fall back to the healthy
+// remote copies instead of surfacing the local error: every object has a
+// full replica set, and failover catch-up depends on reads succeeding
+// whenever any replica survives.
+func TestGetFallsBackToRemoteWhenLocalBrownedOut(t *testing.T) {
+	e := newSSPEnv(t, 2, 2)
+	key := Key{Group: "g1", Kind: KindJournal, Seq: 7}
+	stored := false
+	e.hosts[0].client.Put(key, []byte("batch"), 64, func(err error) { stored = err == nil })
+	e.world.Run()
+	if !stored {
+		t.Fatal("seed put failed")
+	}
+	e.hosts[0].pool.SetBrownout(Brownout{SlowFactor: 2, FailEvery: 1})
+	var data []byte
+	var getErr error
+	done := false
+	e.hosts[0].client.Get(key, func(d []byte, _ int64, err error) {
+		data, getErr, done = d, err, true
+	})
+	e.world.Run()
+	if !done || getErr != nil || string(data) != "batch" {
+		t.Fatalf("get done=%v err=%v data=%q, want remote fallback success", done, getErr, data)
+	}
+}

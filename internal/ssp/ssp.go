@@ -435,7 +435,15 @@ func (c *Client) Get(key Key, cb func(data []byte, size int64, err error)) {
 		cb(data, size, err)
 	}
 	if c.local != nil && c.local.Has(key) {
-		c.local.LocalGet(key, wrapped)
+		c.local.LocalGet(key, func(data []byte, size int64, err error) {
+			if err != nil {
+				// A browned-out or failing local replica must not mask the
+				// healthy remote copies (every object has ReplicaN of them).
+				c.getRemote(key, 0, wrapped)
+				return
+			}
+			wrapped(data, size, nil)
+		})
 		return
 	}
 	c.getRemote(key, 0, wrapped)

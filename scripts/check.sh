@@ -14,6 +14,11 @@ go test ./...
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
 go test -race -timeout 40m ./internal/mams/...
 go test -race ./internal/obs/...
+# The explorer fans schedules out across workers; its fixture replays
+# (internal/check/testdata/*.artifact) re-trigger each gray-failure bug's
+# schedule and must stay violation-free — pre-fix versions of those tests
+# asserting the violations live in git history.
+go test -race -timeout 20m ./internal/check/...
 # Exporter smoke run: one failover must produce a non-empty Prometheus dump
 # and a valid (json-decodable) Chrome trace. The byte-level golden checks
 # live in internal/obs (export_test.go) and internal/cluster
@@ -29,6 +34,11 @@ grep -q '"name":"failover"' "$obsdir/s.json"
 # Bounded systematic invariant sweep: crash-only single faults over a small
 # scope (7 schedules) — a smoke test for the full `mamscheck run` matrix.
 go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -q
+# Gray-failure smoke sweep: single gray faults (slowdown/flap/skew/brownout)
+# over the same small scope. The full ≤2-gray-fault matrix
+# (-kinds sfkb -members 2 -steps 3 -maxfaults 2, 277 schedules) runs clean
+# but takes minutes; this bounds CI to the single-fault slice.
+go run ./cmd/mamscheck run -members 2 -steps 2 -maxfaults 1 -kinds sfkb -q
 # Same scope with the rebuilt commit path: pipelined group commit, then
 # seal-time acks (the durability invariant flips to watermark semantics).
 go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -groupcommit -q
