@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|gray|all")
+		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|gray|shard|all")
 		seed        = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
 		ops         = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
 		trials      = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
@@ -127,6 +127,30 @@ func main() {
 					os.Exit(1)
 				}
 			}
+		case "shard":
+			sh := experiments.Shard(opts, *full)
+			fmt.Println(sh.Scale)
+			fmt.Println(sh.Hot)
+			static, migrate := sh.HotCell("static"), sh.HotCell("migrate")
+			if static.P99ms > 0 {
+				fmt.Printf("hotspot stat p99: static=%.3fms migrate=%.3fms (%.2fx); %d migrations moved %d entries, total pause %.1fms\n",
+					static.P99ms, migrate.P99ms, static.P99ms/migrate.P99ms,
+					migrate.Migrations, migrate.MovedEntries, migrate.PauseMS)
+			}
+			if *benchOut != "" {
+				if err := writeFile(*benchOut, func(f *os.File) error {
+					enc := json.NewEncoder(f)
+					enc.SetIndent("", "  ")
+					return enc.Encode(sh)
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if static.Violations != 0 || migrate.Violations != 0 {
+				fmt.Fprintln(os.Stderr, "shard: placement violations in hotspot runs")
+				os.Exit(1)
+			}
 		case "ablations":
 			fmt.Println(experiments.AblationStandbys(opts))
 			fmt.Println(experiments.AblationSessionTimeout(opts))
@@ -147,7 +171,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"figure5", "figure6", "table1", "figure7", "table2", "figure8", "figure9", "ablations", "tvl"} {
+		for _, name := range []string{"figure5", "figure6", "table1", "figure7", "table2", "figure8", "figure9", "ablations", "tvl", "shard"} {
 			run(name)
 			fmt.Println()
 		}

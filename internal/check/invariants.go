@@ -28,6 +28,7 @@ import (
 	"mams/internal/cluster"
 	"mams/internal/fsclient"
 	"mams/internal/mams"
+	"mams/internal/partition"
 	"mams/internal/sim"
 	"mams/internal/trace"
 )
@@ -35,7 +36,7 @@ import (
 // Violation is one observed invariant breach.
 type Violation struct {
 	At        sim.Time
-	Invariant string // "one-active", "sn-monotone", "healed", "converged", "durable", "live", "boot"
+	Invariant string // "one-active", "sn-monotone", "healed", "converged", "durable", "placement", "live", "boot"
 	Node      string // offending node, "" if group-wide
 	Detail    string
 }
@@ -266,6 +267,52 @@ func (m *Monitor) CheckDurableWatermark(results []fsclient.Result, cutoff sim.Ti
 		if !active.Tree().Exists(r.Path) {
 			m.record("durable", string(active.Node().ID()),
 				fmt.Sprintf("watermark-covered %s (sn %d <= wm %d, epoch %d) missing", r.Path, r.SN, wm[r.Epoch], r.Epoch))
+		}
+	}
+	return checked
+}
+
+// CheckPlacement asserts the sharded-namespace migration safety contract:
+// every create acked at or before cutoff exists on the active of exactly
+// the group the authoritative shard map homes it to — no acked entry is
+// lost or double-homed, however many migrations (and failovers during
+// migrations) the run contained. The authoritative map is the highest
+// epoch installed on any current active. Call it after quiescence: a flip
+// whose watch notifications are still in flight would otherwise flag an
+// active that has not yet purged its moved-away slot.
+func (m *Monitor) CheckPlacement(results []fsclient.Result, cutoff sim.Time) (checked int) {
+	var part *partition.Partitioner
+	actives := make([]*mams.Server, len(m.c.Groups))
+	for g := range m.c.Groups {
+		a := m.c.ActiveOf(g)
+		if a == nil {
+			m.record("placement", "", fmt.Sprintf("group %d has no active to audit placement against", g))
+			return 0
+		}
+		actives[g] = a
+		if p := a.ShardPartitioner(); part == nil || p.Epoch() > part.Epoch() {
+			part = p
+		}
+	}
+	if part == nil {
+		return 0
+	}
+	for _, r := range results {
+		if r.Err != nil || r.End > cutoff || r.Kind != mams.OpCreate {
+			continue
+		}
+		checked++
+		home := part.HomeGroup(r.Path)
+		for g, a := range actives {
+			exists := a.Tree().Exists(r.Path)
+			if g == home && !exists {
+				m.record("placement", string(a.Node().ID()),
+					fmt.Sprintf("acked create %s missing from home group %d (map epoch %d)", r.Path, home, part.Epoch()))
+			}
+			if g != home && exists {
+				m.record("placement", string(a.Node().ID()),
+					fmt.Sprintf("acked create %s double-homed on group %d (home %d, map epoch %d)", r.Path, g, home, part.Epoch()))
+			}
 		}
 	}
 	return checked

@@ -1,0 +1,309 @@
+package check
+
+import (
+	"testing"
+
+	"mams/internal/cluster"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/namespace"
+	"mams/internal/sim"
+	"mams/internal/trace"
+	"mams/internal/workload"
+)
+
+// migFixture is a small many-group cluster with preloaded files and a
+// started migration coordinator.
+type migFixture struct {
+	env     *cluster.Env
+	c       *cluster.MAMSCluster
+	mon     *Monitor
+	drv     *workload.Driver
+	mg      *mams.Migrator
+	results []fsclient.Result
+}
+
+func newMigFixture(t *testing.T, seed uint64, groups int) *migFixture {
+	t.Helper()
+	env := cluster.NewEnv(seed)
+	params := mams.DefaultParams()
+	params.TraceAppends = true
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{
+		Groups:          groups,
+		BackupsPerGroup: 2,
+		Params:          params,
+	})
+	f := &migFixture{env: env, c: c}
+	f.mon = Attach(env, c)
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatalf("cluster never stabilized: %v", c.RolesOf(0))
+	}
+	f.drv = workload.NewDriver(env, c.AsSystem(), 2, func(r fsclient.Result) {
+		f.results = append(f.results, r)
+	})
+	f.drv.Setup(2)
+	f.drv.Preload(40, 4)
+	f.mg = c.StartMigrator()
+	return f
+}
+
+// ackedCreates returns the paths of every successfully acked create.
+func (f *migFixture) ackedCreates() []string {
+	var out []string
+	for _, r := range f.results {
+		if r.Err == nil && r.Kind == mams.OpCreate {
+			out = append(out, r.Path)
+		}
+	}
+	return out
+}
+
+// victim picks an acked file, its slot, its epoch-0 home group, and a
+// destination group.
+func (f *migFixture) victim(t *testing.T) (path string, slot, from, to int) {
+	t.Helper()
+	paths := f.ackedCreates()
+	if len(paths) == 0 {
+		t.Fatal("preload acked no creates")
+	}
+	path = paths[0]
+	slot = f.c.Part.HomeSlot(path)
+	from = f.c.Part.HomeGroup(path)
+	to = (from + 1) % len(f.c.Groups)
+	return
+}
+
+// moveAndWait drives one MoveSlot to completion from inside the event loop.
+func (f *migFixture) moveAndWait(t *testing.T, slot, to int, deadline sim.Time) mams.MoveStats {
+	t.Helper()
+	var st mams.MoveStats
+	var moveErr error
+	done := false
+	f.env.World.Defer("test-move-slot", func() {
+		f.mg.MoveSlot(slot, to, func(s mams.MoveStats, err error) {
+			st, moveErr, done = s, err, true
+		})
+	})
+	end := f.env.Now() + deadline
+	for !done && f.env.Now() < end {
+		f.env.RunFor(250 * sim.Millisecond)
+		f.mon.Sample()
+	}
+	if !done {
+		t.Fatalf("migration of slot %d did not finish within %v", slot, deadline)
+	}
+	if moveErr != nil {
+		t.Fatalf("MoveSlot(%d -> g%d): %v", slot, to, moveErr)
+	}
+	return st
+}
+
+// crashNodeOn arms a one-shot trace hook: the first time event `what`
+// fires, the emitting server is crashed (from a deferred event, never from
+// inside the emitter's own handler).
+func (f *migFixture) crashNodeOn(what string) *bool {
+	fired := new(bool)
+	f.env.Trace.Subscribe(func(e trace.Event) {
+		if e.What != what || *fired {
+			return
+		}
+		*fired = true
+		node := e.Node
+		f.env.World.Defer("test-crash-"+what, func() {
+			for _, members := range f.c.Groups {
+				for _, s := range members {
+					if string(s.Node().ID()) == node && s.Node().Up() {
+						s.Shutdown()
+					}
+				}
+			}
+		})
+	})
+	return fired
+}
+
+// settle heals, waits for stability, and drains in-flight work.
+func (f *migFixture) settle(t *testing.T) {
+	t.Helper()
+	f.env.World.Defer("test-heal", f.c.HealAll)
+	if !f.c.AwaitStable(60 * sim.Second) {
+		t.Fatalf("cluster did not restabilize: %v", f.c.RolesOf(0))
+	}
+	f.env.RunFor(5 * sim.Second)
+}
+
+// audit runs the migration safety invariants and fails on any violation.
+func (f *migFixture) audit(t *testing.T) {
+	t.Helper()
+	f.mon.CheckConverged()
+	if n := f.mon.CheckPlacement(f.results, f.env.Now()); n == 0 {
+		t.Fatal("placement audit covered no acked creates")
+	}
+	if vs := f.mon.Violations(); len(vs) > 0 {
+		t.Fatalf("invariant violations:\n%v", vs)
+	}
+}
+
+// TestLiveMigrationEndToEnd moves a populated slot between groups and
+// checks the full contract: entries travel, the freeze pause is bounded
+// and nonzero, the epoch advances on every active, and no acked create is
+// lost or double-homed afterwards.
+func TestLiveMigrationEndToEnd(t *testing.T) {
+	f := newMigFixture(t, 11, 3)
+	_, slot, from, to := f.victim(t)
+
+	st := f.moveAndWait(t, slot, to, 60*sim.Second)
+	if st.From != from || st.To != to {
+		t.Fatalf("move stats %+v, want from g%d to g%d", st, from, to)
+	}
+	if st.Entries == 0 {
+		t.Fatal("migration moved zero entries from a populated slot")
+	}
+	if st.Pause <= 0 {
+		t.Fatalf("freeze pause = %v, want > 0", st.Pause)
+	}
+	f.settle(t)
+
+	for g := range f.c.Groups {
+		if ep := f.c.ActiveOf(g).ShardEpoch(); ep != 1 {
+			t.Fatalf("group %d active at map epoch %d, want 1", g, ep)
+		}
+	}
+	f.audit(t)
+}
+
+// TestColdClientCacheInvalidation pins the client-side shard-map cache
+// protocol: after a migration, a cold (epoch-0) client's first op on a
+// moved path is bounced with StaleMap by the old home group, adopts the
+// piggybacked newer map, re-routes, and succeeds — one refresh for the
+// whole session, no central lookup, and no refresh storm from the ops that
+// still route correctly.
+func TestColdClientCacheInvalidation(t *testing.T) {
+	f := newMigFixture(t, 12, 3)
+	_, slot, _, to := f.victim(t)
+	f.moveAndWait(t, slot, to, 60*sim.Second)
+	f.settle(t)
+
+	cli := f.c.NewClient(nil)
+	if cli.MapEpoch() != 0 {
+		t.Fatalf("fresh client at epoch %d, want 0", cli.MapEpoch())
+	}
+	// Stat every acked file sequentially, moved slot first (victim is
+	// paths[0]), so the very first op exercises the stale bounce and the
+	// rest ride the adopted map.
+	paths := f.ackedCreates()
+	okCount, finished := 0, false
+	var statErr error
+	var next func(i int)
+	next = func(i int) {
+		if i == len(paths) {
+			finished = true
+			return
+		}
+		cli.Stat(paths[i], func(_ *namespace.Info, err error) {
+			if err != nil && statErr == nil {
+				statErr = err
+			}
+			if err == nil {
+				okCount++
+			}
+			next(i + 1)
+		})
+	}
+	f.env.World.Defer("test-cold-stats", func() { next(0) })
+	end := f.env.Now() + 60*sim.Second
+	for !finished && f.env.Now() < end {
+		f.env.RunFor(250 * sim.Millisecond)
+	}
+	if !finished {
+		t.Fatal("cold-client stats did not finish")
+	}
+	if statErr != nil {
+		t.Fatalf("stat on migrated namespace failed: %v", statErr)
+	}
+	if okCount != len(paths) {
+		t.Fatalf("only %d/%d stats succeeded", okCount, len(paths))
+	}
+	if cli.MapEpoch() != 1 {
+		t.Fatalf("client map epoch %d after stale bounce, want 1", cli.MapEpoch())
+	}
+	if cli.MapRefreshes() != 1 {
+		t.Fatalf("client refreshed its map %d times, want exactly 1", cli.MapRefreshes())
+	}
+}
+
+// TestMigrationSurvivesSourceActiveCrash crashes the source group's active
+// the instant it installs the freeze. The freeze record lives in the
+// shardmap znode, so the successor re-freezes during its upgrade, the
+// coordinator's retries ride out the failover, and the same move completes
+// with nothing lost or double-homed — under live create load that keeps
+// hitting the frozen slot throughout.
+func TestMigrationSurvivesSourceActiveCrash(t *testing.T) {
+	f := newMigFixture(t, 13, 3)
+	_, slot, _, to := f.victim(t)
+	crashed := f.crashNodeOn("shard-freeze")
+
+	stop := f.drv.Continuous(workload.CreateMkdir(), 2)
+	st := f.moveAndWait(t, slot, to, 120*sim.Second)
+	f.env.World.Defer("test-stop-load", stop)
+	f.env.RunFor(2 * sim.Second)
+	if !*crashed {
+		t.Fatal("the freeze never fired, crash hook unused")
+	}
+	if st.Entries == 0 {
+		t.Fatal("migration moved zero entries")
+	}
+	f.settle(t)
+	f.audit(t)
+}
+
+// TestMigrationSurvivesDestActiveCrash crashes the destination group's
+// active mid-ingest — after entries entered its journal pipeline but
+// (possibly) before commit. The coordinator re-resolves the new active and
+// replays purge+ingest against it; purge-then-ingest makes the replay
+// idempotent regardless of how much of the first attempt survived the
+// failover. Re-issuing the completed move afterwards must be a pure no-op.
+func TestMigrationSurvivesDestActiveCrash(t *testing.T) {
+	f := newMigFixture(t, 14, 3)
+	_, slot, _, to := f.victim(t)
+	crashed := f.crashNodeOn("shard-ingest")
+
+	st := f.moveAndWait(t, slot, to, 120*sim.Second)
+	if !*crashed {
+		t.Fatal("ingest never fired, crash hook unused")
+	}
+	if st.Entries == 0 {
+		t.Fatal("migration moved zero entries")
+	}
+	f.settle(t)
+
+	// Replaying the very same move must not re-copy anything or bump the
+	// epoch: the map already homes the slot at the destination.
+	ep := f.c.ActiveOf(0).ShardEpoch()
+	st2 := f.moveAndWait(t, slot, to, 30*sim.Second)
+	if st2.Entries != 0 {
+		t.Fatalf("replayed move re-copied %d entries, want 0", st2.Entries)
+	}
+	if got := f.c.ActiveOf(0).ShardEpoch(); got != ep {
+		t.Fatalf("replayed move bumped epoch %d -> %d", ep, got)
+	}
+
+	// And there is no leftover migration record to resume.
+	resumed, resumeDone := false, false
+	f.env.World.Defer("test-resume", func() {
+		f.mg.ResumePending(func(r bool, _ mams.MoveStats, err error) {
+			resumed, resumeDone = r, true
+			if err != nil {
+				t.Errorf("ResumePending: %v", err)
+			}
+		})
+	})
+	f.env.RunFor(5 * sim.Second)
+	if !resumeDone {
+		t.Fatal("ResumePending never completed")
+	}
+	if resumed {
+		t.Fatal("ResumePending found a record after a completed migration")
+	}
+	f.audit(t)
+}

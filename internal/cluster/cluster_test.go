@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mams/internal/cluster"
+	"mams/internal/fsclient"
 	"mams/internal/mams"
 	"mams/internal/obs"
 	"mams/internal/sim"
@@ -282,3 +283,59 @@ func TestSeededRunsDumpIdentically(t *testing.T) {
 		t.Error("chrome trace exports differ between identically-seeded runs")
 	}
 }
+
+// TestLoneSurvivorRecoversWritesAfterFailover pins write liveness in the
+// smallest HA deployment: one active plus one standby. When the active
+// crashes, the surviving standby takes over with zero replication peers and
+// its dead peer still listed in the shared-pool membership — the view marks
+// that peer RoleDown, pool placement must skip it, and the sole-owner
+// commit backstop must land on the local pool copy. Before placement
+// consulted the view, every post-failover mutation wedged behind a
+// never-succeeding pool write and the group froze forever while reporting
+// a completed failover.
+func TestLoneSurvivorRecoversWritesAfterFailover(t *testing.T) {
+	env := cluster.NewEnv(17)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 1})
+	sys := c.AsSystem()
+	if !sys.AwaitReady(60 * sim.Second) {
+		t.Fatal("system never became ready")
+	}
+	var results []fsclient.Result
+	drv := workload.NewDriver(env, sys, 8, func(r fsclient.Result) {
+		results = append(results, r)
+	})
+	drv.Setup(2)
+	stop := drv.Continuous(workload.CreateMkdir(), 8)
+	env.RunFor(2 * sim.Second)
+	faultAt := env.Now()
+	sys.CrashPrimary()
+	env.RunFor(15 * sim.Second) // session timeout (5s) + failover + slack
+	stop()
+	env.RunFor(500 * sim.Millisecond)
+
+	okPost, firstOK := 0, sim.Time(0)
+	for _, r := range results {
+		if r.Err == nil && r.End > faultAt {
+			okPost++
+			if firstOK == 0 || r.End < firstOK {
+				firstOK = r.End
+			}
+		}
+	}
+	if okPost == 0 {
+		t.Fatal("no mutation was ever acked after the failover")
+	}
+	// Recovery must ride the session-timeout detection band, not a pool
+	// RPC timeout (10s) stacked on top of it (>= 15s when placement ignores
+	// the view).
+	if rec := firstOK - faultAt; rec > 12*sim.Second {
+		t.Fatalf("first post-fault ack took %v, want within the failover band", rec)
+	}
+	// The survivor serves alone: its journal keeps committing, so the
+	// steady post-failover ack stream must be substantial, not a one-off
+	// duplicate-detection fluke.
+	if okPost < 100 {
+		t.Fatalf("only %d acks after failover, want a steady stream", okPost)
+	}
+}
+

@@ -38,6 +38,17 @@ type MAMSSpec struct {
 	// paper's full-path hashing; BySubtree implements the conclusion's
 	// "other namespace management methods" direction).
 	Partition partition.Strategy
+
+	// SlotsPerGroup sizes the shard map (default
+	// partition.DefaultSlotsPerGroup). The uniform map routes identically
+	// to static hashing; slots only matter once migrations move them.
+	SlotsPerGroup int
+
+	// MetricChildLimit bounds per-family metric children (0 = auto: 64 at
+	// 64+ groups, unbounded below). Per-node and per-link label sets grow
+	// with Groups × members; at many-group scale the overflow aggregate
+	// keeps registry memory and scrape size O(families).
+	MetricChildLimit int
 }
 
 func (s *MAMSSpec) defaults() {
@@ -62,6 +73,12 @@ func (s *MAMSSpec) defaults() {
 	if s.CoordSessionTimeout == 0 {
 		s.CoordSessionTimeout = 5 * sim.Second
 	}
+	if s.SlotsPerGroup == 0 {
+		s.SlotsPerGroup = partition.DefaultSlotsPerGroup
+	}
+	if s.MetricChildLimit == 0 && s.Groups >= 64 {
+		s.MetricChildLimit = 64
+	}
 }
 
 // MAMSCluster is a running CFS deployment.
@@ -76,6 +93,9 @@ type MAMSCluster struct {
 	PoolNodes   []simnet.NodeID
 	DataServers []*blockmap.DataServer
 
+	// Migrator is the live-migration coordinator (nil until StartMigrator).
+	Migrator *mams.Migrator
+
 	clientSeq  int
 	breakerCli *breaker
 }
@@ -85,8 +105,11 @@ type MAMSCluster struct {
 func BuildMAMS(env *Env, spec MAMSSpec) *MAMSCluster {
 	spec.defaults()
 	c := &MAMSCluster{Env: env, Spec: spec}
+	if spec.MetricChildLimit > 0 {
+		env.Net.Obs().SetChildLimit(spec.MetricChildLimit)
+	}
 	c.Coord = coord.StartEnsemble(env.Net, spec.CoordServers, env.Trace)
-	c.Part = partition.NewWithStrategy(spec.Groups, spec.Partition)
+	c.Part = partition.NewSharded(spec.Groups, spec.SlotsPerGroup, spec.Partition)
 
 	// Every MDS node doubles as an SSP pool node (§III.A: the pool "is
 	// built on existing active or backup servers").
@@ -263,6 +286,32 @@ func (c *MAMSCluster) HealAll() {
 			}
 		}
 	}
+}
+
+// StartMigrator creates and starts the out-of-band migration coordinator
+// (own coordination session, like a cluster operator tool). Call it from
+// outside the event loop — it advances the world until the session opens;
+// MoveSlot / StartBalancer then work from inside scheduled events.
+func (c *MAMSCluster) StartMigrator() *mams.Migrator {
+	if c.Migrator != nil {
+		return c.Migrator
+	}
+	mg := mams.NewMigrator(c.Env.Net, mams.MigratorConfig{
+		ID:           NodeID("migrate", "coordinator"),
+		CoordServers: c.Coord.IDs,
+		AllGroups:    c.GroupIDs,
+		Partitioner:  c.Part,
+	}, c.Env.Trace)
+	started := false
+	c.Env.World.Defer("migrator-start", func() {
+		mg.Start(func(err error) { started = err == nil })
+	})
+	deadline := c.Env.Now() + 30*sim.Second
+	for !started && c.Env.Now() < deadline {
+		c.Env.RunFor(100 * sim.Millisecond)
+	}
+	c.Migrator = mg
+	return mg
 }
 
 // breaker is a lazily created out-of-band coordination client used by

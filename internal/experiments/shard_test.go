@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"mams/internal/sim"
+)
+
+// shardSmoke is the trimmed sweep tests and CI use: a short scaling axis
+// and a small hotspot cluster, short windows.
+func shardSmoke(seed uint64) ShardResult {
+	return shardSweep(Options{Seed: seed, Ops: 2000, Trials: 1, Clients: 16},
+		[]int{2, 4}, 4, 250*sim.Millisecond, 750*sim.Millisecond)
+}
+
+// TestShardScaling checks that adding groups adds capacity: the larger
+// deployment must out-create and out-stat the smaller one, and every cell
+// must have measured something.
+func TestShardScaling(t *testing.T) {
+	res := shardSmoke(7)
+	if len(res.ScaleCells) != 2 {
+		t.Fatalf("got %d scale cells, want 2", len(res.ScaleCells))
+	}
+	for _, c := range res.ScaleCells {
+		if c.CreateTput <= 0 || c.StatTput <= 0 {
+			t.Fatalf("empty scale cell: %+v", c)
+		}
+	}
+	small, big := res.ScaleCells[0], res.ScaleCells[1]
+	if big.CreateTput <= small.CreateTput {
+		t.Errorf("create tput did not scale: %d groups %.0f/s vs %d groups %.0f/s",
+			small.Groups, small.CreateTput, big.Groups, big.CreateTput)
+	}
+	if big.StatTput <= small.StatTput {
+		t.Errorf("stat tput did not scale: %d groups %.0f/s vs %d groups %.0f/s",
+			small.Groups, small.StatTput, big.Groups, big.StatTput)
+	}
+}
+
+// TestShardHotspot checks the hotspot experiment's plumbing and safety: both
+// policy cells measure a latency distribution, the migrate cell actually
+// migrated, and neither run lost or double-homed an acked create.
+func TestShardHotspot(t *testing.T) {
+	res := shardSmoke(9)
+	static, migrate := res.HotCell("static"), res.HotCell("migrate")
+	for _, c := range []ShardHotCell{static, migrate} {
+		if c.Tput <= 0 || c.P99ms <= 0 {
+			t.Fatalf("empty hot cell: %+v", c)
+		}
+		if c.Violations != 0 {
+			t.Fatalf("policy %s: %d placement violations", c.Policy, c.Violations)
+		}
+	}
+	if static.Migrations != 0 {
+		t.Errorf("static policy migrated %d times", static.Migrations)
+	}
+	if migrate.Migrations == 0 {
+		t.Error("migrate policy performed no migrations under a Zipf hotspot")
+	}
+}
+
+// TestShardDeterministic pins parallelism-independence: the same seed must
+// produce bit-identical cells whether cells run sequentially or spread
+// across workers.
+func TestShardDeterministic(t *testing.T) {
+	seq := shardSweep(Options{Seed: 5, Parallelism: 1},
+		[]int{2, 4}, 3, 250*sim.Millisecond, 500*sim.Millisecond)
+	par := shardSweep(Options{Seed: 5, Parallelism: 4},
+		[]int{2, 4}, 3, 250*sim.Millisecond, 500*sim.Millisecond)
+	for i := range seq.ScaleCells {
+		if seq.ScaleCells[i] != par.ScaleCells[i] {
+			t.Errorf("scale cell %d differs: %+v vs %+v", i, seq.ScaleCells[i], par.ScaleCells[i])
+		}
+	}
+	for i := range seq.HotCells {
+		if seq.HotCells[i] != par.HotCells[i] {
+			t.Errorf("hot cell %d differs: %+v vs %+v", i, seq.HotCells[i], par.HotCells[i])
+		}
+	}
+}

@@ -76,11 +76,19 @@ type Client struct {
 	nextReq uint64
 	idSalt  uint64
 	probe   []int // round-robin cursor per group for WhoIsActive
+	// mapRefreshes counts shard-map adoptions from StaleMap replies — the
+	// client-side cache-invalidation signal (no central lookups happen).
+	mapRefreshes uint64
 }
 
 // New registers the client process on the network.
 func New(net *simnet.Network, cfg Config) *Client {
 	cfg.defaults()
+	// The client owns its shard-map cache: StaleMap adoptions must not leak
+	// into the shared seed partitioner or into sibling clients.
+	if cfg.Partitioner != nil {
+		cfg.Partitioner = cfg.Partitioner.Clone()
+	}
 	c := &Client{cfg: cfg, actives: make([]simnet.NodeID, len(cfg.Groups)), probe: make([]int, len(cfg.Groups))}
 	for _, ch := range cfg.ID {
 		c.idSalt = c.idSalt*131 + uint64(ch)
@@ -88,6 +96,17 @@ func New(net *simnet.Network, cfg Config) *Client {
 	c.node = net.AddNode(cfg.ID, c)
 	return c
 }
+
+// MapEpoch exposes the cached shard-map epoch (tests, experiments).
+func (c *Client) MapEpoch() uint64 {
+	if c.cfg.Partitioner == nil {
+		return 0
+	}
+	return c.cfg.Partitioner.Epoch()
+}
+
+// MapRefreshes counts shard maps adopted from StaleMap routing rejections.
+func (c *Client) MapRefreshes() uint64 { return c.mapRefreshes }
 
 // Node exposes the client's simulated process.
 func (c *Client) Node() *simnet.Node { return c.node }
@@ -244,6 +263,9 @@ func (c *Client) attempt(op mams.ClientOp, group, tries int, start sim.Time, cb 
 		})
 		return
 	}
+	if c.cfg.Partitioner != nil {
+		op.MapEpoch = c.cfg.Partitioner.Epoch()
+	}
 	c.node.Call(target, op, c.cfg.RequestTimeout, func(resp any, err error) {
 		if err != nil {
 			// Timeout or dead server: drop the cached active and retry.
@@ -261,6 +283,29 @@ func (c *Client) attempt(op mams.ClientOp, group, tries int, start sim.Time, cb 
 				c.actives[group] = rep.Hint
 			} else {
 				c.actives[group] = ""
+			}
+			c.backoffRetry(op, group, tries, start, cb)
+			return
+		}
+		if rep.SlotMoving {
+			// The slot is frozen mid-migration; the op never executed.
+			// Back off until the flip lands.
+			c.backoffRetry(op, group, tries, start, cb)
+			return
+		}
+		if rep.StaleMap {
+			// Routing rejection: adopt the server's (strictly newer) map and
+			// re-route immediately; if the server is the one behind, our
+			// Install rejects its map and we back off while it catches up.
+			adopted := rep.Map != nil && c.cfg.Partitioner != nil && c.cfg.Partitioner.Install(rep.Map)
+			if adopted {
+				c.mapRefreshes++
+				if op.Kind != mams.OpList {
+					if ng := c.groupFor(op); ng != group {
+						c.attempt(op, ng, tries+1, start, cb)
+						return
+					}
+				}
 			}
 			c.backoffRetry(op, group, tries, start, cb)
 			return

@@ -1,6 +1,9 @@
 package mams
 
-import "mams/internal/ssp"
+import (
+	"mams/internal/simnet"
+	"mams/internal/ssp"
+)
 
 // ReflushTailForTest replays the failover step-4 re-flush from this server
 // exactly as commitCachedAndFlip would, letting tests exercise duplicate
@@ -20,6 +23,10 @@ func (s *Server) BreakSSPForTest() {
 // RestoreSSPForTest reinstalls the real pool client after BreakSSPForTest.
 func (s *Server) RestoreSSPForTest() {
 	s.sspc = ssp.NewClient(s.node, s.cfg.PoolNodes, s.pool, s.cfg.Params.SSPReplicas)
+	s.sspc.SetAvoid(func(id simnet.NodeID) bool {
+		r, ok := s.view.States[string(id)]
+		return ok && r == RoleDown
+	})
 }
 
 // PendingReplForTest reports how many sealed batches are awaiting commit.

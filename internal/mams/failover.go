@@ -217,13 +217,18 @@ func (s *Server) commitCachedAndFlip() {
 				s.node.After(s.cfg.Params.RegistrationWait, "mams-registration-wait", func() {
 					s.spans.End(s.stageSpan)
 					// Step 6: switch to active duty and drain the buffer.
+					// The shardmap znode is re-read first so a standing
+					// migration freeze (and any flip we slept through)
+					// binds this active before it serves a single op.
 					s.stageSpan = s.spans.Begin("stage-become-active", me, s.failoverSpan)
-					s.becomeActiveNow(epoch)
-					s.spans.End(s.stageSpan)
-					s.stageSpan = 0
-					s.emit(trace.KindFailover, "switch-done", "epoch", fmt.Sprint(epoch))
-					s.spans.End(s.failoverSpan, "outcome", "switch-done", "epoch", fmt.Sprint(epoch))
-					s.failoverSpan = 0
+					s.refreshShardMap(func() {
+						s.becomeActiveNow(epoch)
+						s.spans.End(s.stageSpan)
+						s.stageSpan = 0
+						s.emit(trace.KindFailover, "switch-done", "epoch", fmt.Sprint(epoch))
+						s.spans.End(s.failoverSpan, "outcome", "switch-done", "epoch", fmt.Sprint(epoch))
+						s.failoverSpan = 0
+					})
 				})
 			})
 		})

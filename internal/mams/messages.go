@@ -3,6 +3,7 @@ package mams
 import (
 	"mams/internal/journal"
 	"mams/internal/namespace"
+	"mams/internal/partition"
 	"mams/internal/simnet"
 )
 
@@ -54,6 +55,9 @@ type ClientOp struct {
 	Path  string
 	Dest  string // rename destination
 	Size  int64  // create file size
+	// MapEpoch is the shard-map epoch the client routed with. A server
+	// seeing an epoch newer than its own re-reads the shardmap znode.
+	MapEpoch uint64
 }
 
 // OpReply answers a ClientOp.
@@ -73,6 +77,15 @@ type OpReply struct {
 	// an AsyncAck mutation is known durable only once some reply from the
 	// same epoch reports DurableSN >= SN.
 	DurableSN uint64
+
+	// StaleMap rejects an op routed with an outdated shard map; Map carries
+	// the receiver's installed map (immutable — safe to adopt directly) so
+	// the client refreshes its cache without a central lookup.
+	StaleMap bool
+	Map      *partition.Map
+	// SlotMoving rejects a mutation on a slot frozen mid-migration; the op
+	// was not executed and the client should back off and retry.
+	SlotMoving bool
 }
 
 // AppendBatch replicates a sealed journal batch from the active to its

@@ -166,6 +166,16 @@ type Server struct {
 	txnPending   map[uint64]*txnState
 	preparedTxns map[uint64]*preparedTxn
 
+	// Sharded namespace & live migration (migrate.go). migRec mirrors the
+	// migration record standing in the shardmap znode; while it names this
+	// group as the source, mutations on the frozen slot are rejected and
+	// the copy may be taken once committedSN reaches freezeBarrier. slotOps
+	// counts executed ops per slot — the balancer's load signal.
+	migRec          *MigrationRec
+	freezeBarrier   uint64
+	freezeBarrierOK bool
+	slotOps         []uint64
+
 	// Modeling.
 	busyUntil            sim.Time
 	virtualOverheadBytes int64
@@ -195,6 +205,11 @@ type Server struct {
 	obsElectStarted  *obs.Counter
 	obsElectWon      *obs.Counter
 	obsElectLost     *obs.Counter
+	obsStaleMap      *obs.Counter
+	obsFrozenRej     *obs.Counter
+	obsMigIn         *obs.Counter
+	obsPurged        *obs.Counter
+	obsSlotOps       *obs.Counter
 	failoverSpan     obs.SpanID
 	electionSpan     obs.SpanID
 	stageSpan        obs.SpanID
@@ -207,6 +222,11 @@ type Server struct {
 func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float64) *Server {
 	if cfg.Params.BatchEvery == 0 {
 		cfg.Params = DefaultParams()
+	}
+	// Each server owns its routing view: shard-map installs must not leak
+	// into the shared seed partitioner or into other servers mid-event.
+	if cfg.Partitioner != nil {
+		cfg.Partitioner = cfg.Partitioner.Clone()
 	}
 	s := &Server{
 		cfg:           cfg,
@@ -253,8 +273,20 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 		"Elections this node won (acquired the distributed lock).", "node", me)
 	s.obsElectLost = reg.Counter("mams_elections_lost_total",
 		"Elections this node lost to a faster peer.", "node", me)
+	s.registerShardObs(reg, me)
 	s.pool = ssp.NewPoolNode(s.node, cfg.SSPParams)
 	s.sspc = ssp.NewClient(s.node, cfg.PoolNodes, s.pool, cfg.Params.SSPReplicas)
+	// Pool placement consults the group view: a takeover records the
+	// deposed active as RoleDown, and without this hint a lone survivor
+	// wedges its sole-owner commit backstop on the dead peer's put timeout
+	// — there is no second pool member to fail over to in a two-node
+	// group. Only an explicit RoleDown avoids a member; juniors are live
+	// pool members, and absent entries (bootstrap window) keep the default
+	// full-rotation placement.
+	s.sspc.SetAvoid(func(id simnet.NodeID) bool {
+		r, ok := s.view.States[string(id)]
+		return ok && r == RoleDown
+	})
 	s.blocks = blockmap.NewManager()
 	s.coordCli = coord.NewClient(s.node, coord.ClientConfig{
 		Servers:        cfg.CoordServers,
@@ -369,6 +401,7 @@ func (s *Server) Restart() {
 	s.sanityOn = false
 	s.busyUntil = 0
 	s.retryCache = map[uint64]OpReply{}
+	s.resetShardState()
 	s.blocks.Reset()
 	s.coordCli.Restart(func(err error) {
 		if err != nil {
@@ -400,6 +433,7 @@ func (s *Server) bootstrapZnodes() {
 							s.node.After(sim.Second, "mams-alive-retry", s.bootstrapZnodes)
 							return
 						}
+						s.armShardWatch()
 						s.armSanityLoop()
 						s.enterRole()
 					})
@@ -476,7 +510,9 @@ func (s *Server) bootstrapAsActive() {
 				return
 			}
 			s.refreshView(func() {
-				s.becomeActiveNow(1)
+				s.refreshShardMap(func() {
+					s.becomeActiveNow(1)
+				})
 			})
 		})
 	})
@@ -501,6 +537,12 @@ func (s *Server) becomeActiveNow(epoch uint64) {
 	s.armFenceLoop()
 	s.armRenewScan()
 	s.armWatches()
+	// Sharding: purge slots that moved away under a prior active (journaled
+	// deletes) and recompute the freeze barrier if a standing migration
+	// names this group as its source — every activation path re-read the
+	// shardmap znode before calling here, so the freeze survives failover.
+	s.purgeForeignFiles()
+	s.noteFreezeIfActive()
 	// Serve anything buffered during the upgrade.
 	q := s.upgradeQueue
 	s.upgradeQueue = nil
@@ -768,6 +810,7 @@ func (s *Server) invalidateReplTargets() {
 func (s *Server) stepDown(v View) {
 	s.emit(trace.KindState, "step-down", "epoch", fmt.Sprint(v.Epoch))
 	s.endReplSpans("abandoned-step-down")
+	s.freezeBarrierOK = false // the next active of this group recomputes
 	dirty := s.deposedDirty()
 	s.stopBatchTimer()
 	s.builder = nil
@@ -842,6 +885,10 @@ func (s *Server) onCoordEvent(ev coord.WatchEvent) {
 			s.onViewChanged()
 			return
 		}
+		if ev.Path == ShardMapPath {
+			s.armShardWatch() // re-read and re-arm
+			return
+		}
 		s.rearmWatchFor(ev.Path)
 	}
 }
@@ -868,6 +915,7 @@ func (s *Server) onSessionExpired() {
 	s.pendingQueue = nil
 	s.renewing = false
 	s.renewScanOn = false
+	s.freezeBarrierOK = false
 	s.coordCli.Restart(func(err error) {
 		if err != nil {
 			s.node.After(sim.Second, "mams-session-retry", s.onSessionExpired)
@@ -974,6 +1022,16 @@ func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 		s.onRenewJournalReq(m, reply)
 	case TxnPrepare:
 		s.onTxnPrepare(from, m, reply)
+	case MigrateFreeze:
+		s.onMigrateFreeze(m, reply)
+	case MigrateRead:
+		s.onMigrateRead(m, reply)
+	case MigratePurge:
+		s.onMigratePurge(m, reply)
+	case MigrateIngest:
+		s.onMigrateIngest(m, reply)
+	case LoadReport:
+		s.onLoadReport(m, reply)
 	default:
 		reply(nil)
 	}
@@ -994,6 +1052,13 @@ func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)
 	}
 	if cached, dup := s.retryCache[op.ReqID]; dup {
 		reply(cached)
+		return
+	}
+	// Misrouted ops (stale client shard map) bounce before paying the CPU
+	// queue; executeOp re-checks post-queue, which is the authoritative
+	// decision because the map can change while the op waits.
+	if rep, stale := s.checkRouting(op); stale {
+		reply(rep)
 		return
 	}
 	// CPU queue: ops are serviced sequentially. Under GroupCommit only the
@@ -1052,6 +1117,18 @@ func (s *Server) executeOp(op ClientOp, reply func(any)) {
 		reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
 		return
 	}
+	if rep, stale := s.checkRouting(op); stale {
+		reply(rep)
+		return
+	}
+	if op.Kind.Mutating() && s.opTouchesFrozenSlot(op) {
+		// Mid-migration freeze: not executed, not cached — the client backs
+		// off and retries until the flip lands.
+		s.obsFrozenRej.Inc()
+		reply(OpReply{SlotMoving: true})
+		return
+	}
+	s.noteSlotOp(op)
 	now := int64(s.node.World().Now())
 	switch op.Kind {
 	case OpStat:

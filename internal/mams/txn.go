@@ -402,6 +402,16 @@ func (s *Server) onTxnPrepare(from simnet.NodeID, m TxnPrepare, reply func(any))
 				reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: err.Error()})
 				return
 			}
+			if s.recTouchesFrozenSlot(r) {
+				// A cross-group rename/delete must not smuggle a file
+				// mutation onto a slot frozen mid-migration; vote no and
+				// let the coordinator abort (the client retries later).
+				s.obsFrozenRej.Inc()
+				s.preparedTxns[m.TxnID] = &preparedTxn{ok: false}
+				s.recordsPending()
+				reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: "mams: slot migrating"})
+				return
+			}
 			tx := s.builder.Add(r)
 			r.TxID = tx
 			_ = s.tree.Apply(r)

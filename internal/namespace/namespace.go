@@ -470,6 +470,37 @@ func (t *Tree) List(path string) ([]Info, error) {
 	return out, nil
 }
 
+// WalkFiles visits every regular file in deterministic (sorted-children,
+// depth-first) order and stops early when fn returns false. Live migration
+// uses it to enumerate a shard slot's file entries for copy and purge; the
+// deterministic order is what keeps migrations byte-identical across
+// simulation runs.
+func (t *Tree) WalkFiles(fn func(info Info) bool) {
+	t.walkFilesAt("", t.root, fn)
+}
+
+func (t *Tree) walkFilesAt(prefix string, dir *inode, fn func(info Info) bool) bool {
+	names := make([]string, 0, len(dir.children))
+	for n := range dir.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := dir.children[n]
+		p := prefix + "/" + n
+		if c.dir {
+			if !t.walkFilesAt(p, c, fn) {
+				return false
+			}
+			continue
+		}
+		if !fn(Info{Path: p, Name: n, Dir: false, Size: c.size, Perm: c.perm, MTime: c.mtime}) {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks whether rec would apply cleanly to the tree, without
 // mutating it. Metadata servers validate before journaling so that only
 // records guaranteed to replay ever reach replicas.

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// At 512 groups the per-node and per-link families would otherwise carry
+// thousands of children; the child limit must keep every family bounded and
+// route the excess into one exact-sum overflow child.
+func TestChildLimitBoundsCardinalityAt512Groups(t *testing.T) {
+	r := NewRegistry()
+	r.SetChildLimit(64)
+	for g := 0; g < 512; g++ {
+		for m := 0; m < 2; m++ {
+			node := fmt.Sprintf("g%d/mds%d", g, m)
+			r.Counter("mams_journal_appends_total", "appends", "node", node).Add(3)
+			r.Gauge("mams_commit_backlog", "backlog", "node", node).Set(float64(g))
+			r.Histogram("mams_batch_bytes", "bytes", []float64{10, 100}, "node", node).Observe(42)
+		}
+	}
+	for _, name := range []string{"mams_journal_appends_total", "mams_commit_backlog", "mams_batch_bytes"} {
+		f := r.byName[name]
+		if got := len(f.order); got > 65 {
+			t.Fatalf("%s has %d children, want <= limit+1 = 65", name, got)
+		}
+	}
+	// Counters aggregate exactly: 1024 registrations × 3.
+	total := 0.0
+	for _, ch := range r.byName["mams_journal_appends_total"].order {
+		total += ch.c.Value()
+	}
+	if total != 3*1024 {
+		t.Fatalf("counter mass lost under overflow: %v != %v", total, 3*1024)
+	}
+	// The overflow child exists and is labeled agg="_overflow".
+	f := r.byName["mams_journal_appends_total"]
+	if f.byKey[labelKey(overflowLabels)] == nil {
+		t.Fatal("no overflow child created")
+	}
+	// Exposition stays bounded: every line count is O(children), and the
+	// overflow label shows up.
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, OverflowLabelValue) {
+		t.Fatal("exposition missing overflow label")
+	}
+	if n := strings.Count(out, "\n"); n > 600 {
+		t.Fatalf("exposition has %d lines for 1024 nodes; the bound is not holding", n)
+	}
+}
+
+// Instruments handed out before the limit trips keep their identity, and
+// repeated lookups of an overflowed label set return the same aggregate.
+func TestChildLimitStableIdentity(t *testing.T) {
+	r := NewRegistry()
+	r.SetChildLimit(2)
+	a := r.Counter("mams_x_total", "x", "node", "a")
+	b := r.Counter("mams_x_total", "x", "node", "b")
+	c := r.Counter("mams_x_total", "x", "node", "c")
+	d := r.Counter("mams_x_total", "x", "node", "d")
+	if a == b || a == c {
+		t.Fatal("distinct pre-limit children collapsed")
+	}
+	if c != d {
+		t.Fatal("overflowed children must share the aggregate instrument")
+	}
+	if got := r.Counter("mams_x_total", "x", "node", "a"); got != a {
+		t.Fatal("pre-limit child lost its identity")
+	}
+	a.Inc()
+	c.Inc()
+	d.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("aggregate = %v, want 2", c.Value())
+	}
+}
+
+// Merge respects the destination's limit: folding an unbounded per-trial
+// registry into a bounded aggregate keeps the aggregate bounded.
+func TestChildLimitAppliesOnMerge(t *testing.T) {
+	src := NewRegistry()
+	for i := 0; i < 100; i++ {
+		src.Counter("mams_y_total", "y", "node", fmt.Sprintf("n%d", i)).Inc()
+	}
+	dst := NewRegistry()
+	dst.SetChildLimit(8)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	f := dst.byName["mams_y_total"]
+	if len(f.order) > 9 {
+		t.Fatalf("merge created %d children, want <= 9", len(f.order))
+	}
+	total := 0.0
+	for _, ch := range f.order {
+		total += ch.c.Value()
+	}
+	if total != 100 {
+		t.Fatalf("merge lost counter mass: %v", total)
+	}
+}

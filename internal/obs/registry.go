@@ -200,11 +200,39 @@ type family struct {
 type Registry struct {
 	byName map[string]*family
 	names  []string // registration order
+
+	// childLimit bounds labeled children per family (0 = unbounded). See
+	// SetChildLimit.
+	childLimit int
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{byName: map[string]*family{}}
+}
+
+// OverflowLabelValue marks the aggregate child that absorbs registrations
+// past the per-family child limit.
+const OverflowLabelValue = "_overflow"
+
+// overflowLabels is the label set of the aggregate child.
+var overflowLabels = []string{"agg", OverflowLabelValue}
+
+// SetChildLimit bounds the number of labeled children per metric family.
+// Once a family holds n children, further distinct label sets collapse into
+// a single aggregate child labeled agg="_overflow", so Prometheus
+// exposition stays O(families) instead of O(nodes) or O(links) at
+// many-group scale (512 groups × members × per-link families would
+// otherwise dominate both memory and scrape size). Counters and histograms
+// aggregate exactly (sums of sums); gauges collapse to the last writer with
+// a max watermark, which is the useful semantic for depth/backlog gauges.
+//
+// The limit applies to children created after the call; instruments already
+// handed out keep their identity. Zero disables the limit. Nil-safe.
+func (r *Registry) SetChildLimit(n int) {
+	if r != nil {
+		r.childLimit = n
+	}
 }
 
 // labelKey canonicalizes alternating key/value pairs ("a=1|b=2", sorted by
@@ -249,6 +277,14 @@ func (r *Registry) lookup(name, help string, k kind, bounds []float64, labels []
 	}
 	key := labelKey(labels)
 	ch := f.byKey[key]
+	if ch == nil && r.childLimit > 0 && len(f.order) >= r.childLimit {
+		// Family is at its cardinality bound: collapse this label set into
+		// the aggregate overflow child (created on first overflow, so a
+		// family tops out at childLimit+1 children).
+		key = labelKey(overflowLabels)
+		labels = overflowLabels
+		ch = f.byKey[key]
+	}
 	if ch == nil {
 		ch = &child{labels: append([]string(nil), labels...), key: key}
 		switch k {

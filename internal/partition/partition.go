@@ -12,9 +12,13 @@
 //     the number of groups, while mkdir, delete and rename are distributed
 //     transactions across groups — exactly the split the paper reports in
 //     Figure 5.
+//
+// Placement is indirected through an epoch-versioned shard Map (shardmap.go):
+// paths hash to one of a fixed set of slots and slots are assigned to
+// groups. The default assignment reproduces plain hash(path)%groups, but
+// slots can be moved between groups at runtime (live migration), with the
+// epoch acting as the cache-invalidation fence between clients and servers.
 package partition
-
-import "hash/fnv"
 
 // Strategy selects how file entries map to groups.
 type Strategy uint8
@@ -29,10 +33,14 @@ const (
 	BySubtree
 )
 
-// Partitioner maps paths to replica groups.
+// Partitioner maps paths to replica groups through an installable shard
+// map. A Partitioner is a per-process cache: each server and each client
+// holds its own (via Clone) and swaps in newer maps as it learns of them.
+// It is not safe for concurrent use, matching the single-threaded
+// event-loop discipline of the simulation.
 type Partitioner struct {
-	groups   int
 	strategy Strategy
+	m        *Map
 }
 
 // New returns a full-path-hash partitioner over n groups (n >= 1).
@@ -42,10 +50,16 @@ func New(n int) *Partitioner {
 
 // NewWithStrategy returns a partitioner with an explicit strategy.
 func NewWithStrategy(n int, s Strategy) *Partitioner {
+	return NewSharded(n, DefaultSlotsPerGroup, s)
+}
+
+// NewSharded returns a partitioner whose initial map has n*slotsPerGroup
+// slots assigned round-robin, which routes identically to hash(path)%n.
+func NewSharded(n, slotsPerGroup int, s Strategy) *Partitioner {
 	if n < 1 {
 		panic("partition: need at least one group")
 	}
-	return &Partitioner{groups: n, strategy: s}
+	return &Partitioner{strategy: s, m: NewMap(n, slotsPerGroup)}
 }
 
 // topLevel returns the first path component ("/a/b/c" → "/a").
@@ -59,26 +73,68 @@ func topLevel(path string) string {
 }
 
 // Groups returns the number of groups.
-func (p *Partitioner) Groups() int { return p.groups }
+func (p *Partitioner) Groups() int { return p.m.groups }
 
+// Strategy returns the placement strategy.
+func (p *Partitioner) Strategy() Strategy { return p.strategy }
+
+// Map returns the currently installed shard map (immutable; safe to share).
+func (p *Partitioner) Map() *Map { return p.m }
+
+// Epoch returns the installed map's epoch.
+func (p *Partitioner) Epoch() uint64 { return p.m.epoch }
+
+// Install adopts m if it is strictly newer than the installed map and
+// shape-compatible (same slot and group counts). Returns true if adopted.
+func (p *Partitioner) Install(m *Map) bool {
+	if m == nil || m.epoch <= p.m.epoch {
+		return false
+	}
+	if m.groups != p.m.groups || len(m.assign) != len(p.m.assign) {
+		return false
+	}
+	p.m = m
+	return true
+}
+
+// Clone returns an independent Partitioner sharing the (immutable) map.
+// Each server and client owns a clone so map installs never bleed between
+// processes — the whole point of the stale-epoch invalidation protocol.
+func (p *Partitioner) Clone() *Partitioner {
+	cp := *p
+	return &cp
+}
+
+// hashStr is FNV-1a inlined over the string: this is the client and server
+// hot path (every routing decision), so it must not allocate. The stdlib
+// fnv.New64a()+Write route costs two heap allocations per call.
 func hashStr(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HomeSlot returns the shard slot owning the file entry for path.
+func (p *Partitioner) HomeSlot(path string) int {
+	if p.strategy == BySubtree {
+		return int(hashStr(topLevel(path)) % uint64(len(p.m.assign)))
+	}
+	return int(hashStr(path) % uint64(len(p.m.assign)))
 }
 
 // HomeGroup returns the group owning the file entry for path.
 func (p *Partitioner) HomeGroup(path string) int {
-	if p.strategy == BySubtree {
-		return int(hashStr(topLevel(path)) % uint64(p.groups))
-	}
-	return int(hashStr(path) % uint64(p.groups))
+	return int(p.m.assign[p.HomeSlot(path)])
 }
 
 // DirMasterGroup returns the group that coordinates directory-entry
 // updates for the directory containing path.
 func (p *Partitioner) DirMasterGroup(path string) int {
-	return int(hashStr(parentDir(path)) % uint64(p.groups))
+	slot := int(hashStr(parentDir(path)) % uint64(len(p.m.assign)))
+	return int(p.m.assign[slot])
 }
 
 // parentDir returns the directory component of path.
@@ -117,7 +173,7 @@ func (p *Partitioner) StatPlan(path string) (OpClass, []int) {
 // MkdirPlan: directory creation updates the replicated skeleton in every
 // group; the dir-master group coordinates.
 func (p *Partitioner) MkdirPlan(path string) (OpClass, []int) {
-	if p.groups == 1 {
+	if p.m.groups == 1 {
 		return ClassLocal, []int{0}
 	}
 	return ClassGlobal, p.allGroupsLeadBy(p.DirMasterGroup(path))
@@ -128,7 +184,7 @@ func (p *Partitioner) MkdirPlan(path string) (OpClass, []int) {
 // differ.
 func (p *Partitioner) DeletePlan(path string) (OpClass, []int) {
 	home, master := p.HomeGroup(path), p.DirMasterGroup(path)
-	if home == master || p.groups == 1 {
+	if home == master || p.m.groups == 1 {
 		return ClassLocal, []int{home}
 	}
 	return ClassPair, []int{home, master}
@@ -150,9 +206,9 @@ func (p *Partitioner) RenamePlan(src, dst string) (OpClass, []int) {
 
 // allGroupsLeadBy lists every group with lead first.
 func (p *Partitioner) allGroupsLeadBy(lead int) []int {
-	out := make([]int, 0, p.groups)
+	out := make([]int, 0, p.m.groups)
 	out = append(out, lead)
-	for g := 0; g < p.groups; g++ {
+	for g := 0; g < p.m.groups; g++ {
 		if g != lead {
 			out = append(out, g)
 		}

@@ -307,6 +307,14 @@ type Client struct {
 	replica int       // write replication factor
 	timeout sim.Time
 
+	// avoid reports pool members the owner believes are down (e.g. fenced
+	// out of the group view). Put placement skips them so a surviving
+	// writer does not wedge its commit backstop on a dead peer's RPC
+	// timeout. The local replica is never skipped, and avoidance never
+	// empties the target set — with every member suspect, placement falls
+	// back to the full rotation.
+	avoid func(simnet.NodeID) bool
+
 	// Observability (nil-safe no-ops without a registry on the network).
 	stores     *obs.Counter
 	storeBytes *obs.Counter
@@ -344,11 +352,18 @@ func NewClient(host *simnet.Node, pools []simnet.NodeID, local *PoolNode, replic
 	}
 }
 
+// SetAvoid installs a liveness hint consulted at Put placement time (may
+// be nil). It is advisory: reads are unaffected, and a stale hint costs at
+// most replica placement, never correctness.
+func (c *Client) SetAvoid(f func(simnet.NodeID) bool) { c.avoid = f }
+
 // targets picks the replica set for a key: the local node first (cheap
 // sequential local write), then deterministic rotation by Seq so load
-// spreads across the pool.
+// spreads across the pool. Members the avoid hint marks down are skipped
+// unless that would leave no target at all.
 func (c *Client) targets(key Key) []simnet.NodeID {
 	ordered := make([]simnet.NodeID, 0, len(c.pools))
+	skipped := false
 	if c.local != nil {
 		ordered = append(ordered, c.host.ID())
 	}
@@ -359,7 +374,18 @@ func (c *Client) targets(key Key) []simnet.NodeID {
 			if c.local != nil && id == c.host.ID() {
 				continue
 			}
+			if c.avoid != nil && c.avoid(id) {
+				skipped = true
+				continue
+			}
 			ordered = append(ordered, id)
+		}
+		if len(ordered) == 0 && skipped {
+			// Everything is suspect: fall back to the full rotation rather
+			// than refusing to place the object anywhere.
+			for i := 0; i < n; i++ {
+				ordered = append(ordered, c.pools[(start+i)%n])
+			}
 		}
 	}
 	if len(ordered) > c.replica {

@@ -325,3 +325,49 @@ func TestGetAfterWriterCrashServedByReplica(t *testing.T) {
 		t.Fatalf("replica read failed, got %q", got)
 	}
 }
+
+// TestPutAvoidsSuspectMembers pins the view-driven placement hint: members
+// the avoid predicate marks down are skipped at Put time, so a surviving
+// writer places all copies on live nodes instead of wedging on a dead
+// peer's RPC timeout. With every remote suspect, the local copy alone
+// satisfies the put (lone-survivor degraded mode).
+func TestPutAvoidsSuspectMembers(t *testing.T) {
+	e := newSSPEnv(t, 3, 2)
+	down := map[simnet.NodeID]bool{e.ids[1]: true}
+	e.hosts[0].client.SetAvoid(func(id simnet.NodeID) bool { return down[id] })
+	e.world.Defer("crash", func() { e.hosts[1].node.Crash() })
+
+	key := Key{Group: "g1", Kind: KindJournal, Seq: 1}
+	var putErr error
+	done := false
+	var doneAt sim.Time
+	e.hosts[0].client.Put(key, []byte("batch"), 5, func(err error) {
+		putErr, done, doneAt = err, true, e.world.Now()
+	})
+	e.world.Run()
+	if !done || putErr != nil {
+		t.Fatalf("put done=%v err=%v, want success around the dead member", done, putErr)
+	}
+	if doneAt > sim.Second {
+		t.Fatalf("put finished at %v, want promptly (no timeout on the dead member)", doneAt)
+	}
+	if e.hosts[1].pool.Has(key) {
+		t.Fatal("avoided member received a copy")
+	}
+	if !e.hosts[0].pool.Has(key) || !e.hosts[2].pool.Has(key) {
+		t.Fatal("live members missing copies")
+	}
+
+	// All remotes suspect: the local replica alone absorbs the write.
+	down[e.ids[2]] = true
+	key2 := Key{Group: "g1", Kind: KindJournal, Seq: 2}
+	done, putErr = false, nil
+	e.hosts[0].client.Put(key2, []byte("batch2"), 5, func(err error) { putErr, done = err, true })
+	e.world.Run()
+	if !done || putErr != nil {
+		t.Fatalf("lone-survivor put done=%v err=%v", done, putErr)
+	}
+	if !e.hosts[0].pool.Has(key2) {
+		t.Fatal("local copy missing in lone-survivor mode")
+	}
+}

@@ -14,6 +14,9 @@ go test ./...
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
 go test -race -timeout 40m ./internal/mams/...
 go test -race ./internal/obs/...
+# Shard-map hashing is on every request's hot path and must stay
+# allocation-free; the race run also covers Install/Clone publication.
+go test -race ./internal/partition/...
 # The explorer fans schedules out across workers; its fixture replays
 # (internal/check/testdata/*.artifact) re-trigger each gray-failure bug's
 # schedule and must stay violation-free — pre-fix versions of those tests
@@ -47,4 +50,11 @@ go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -asyncack -
 # (EXPERIMENTS.md "Commit-path performance trajectory" reads this file).
 go run ./cmd/mamsbench -exp tvl -bench-out BENCH_tvl.json >/dev/null
 grep -q '"policy": "group-async"' BENCH_tvl.json
+# Sharded-namespace smoke sweep: group-count scaling plus the Zipfian
+# hotspot cells (static vs live migration) at default (bounded) scale; the
+# command exits nonzero on any placement violation, and the recorded cells
+# feed EXPERIMENTS.md's sharding section. The 256-group axis runs with
+# -full only.
+go run ./cmd/mamsbench -exp shard -bench-out BENCH_shard.json >/dev/null
+grep -q '"policy": "migrate"' BENCH_shard.json
 echo "check: OK"
