@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|gray|shard|all")
+		exp         = flag.String("exp", "all", "experiment: figure5|figure6|table1|figure7|table2|figure8|figure9|ablations|tvl|gray|shard|detect|all")
 		seed        = flag.Uint64("seed", 1, "root RNG seed (runs are deterministic per seed)")
 		ops         = flag.Int("ops", 0, "operations per throughput run (0 = default 20000)")
 		trials      = flag.Int("trials", 0, "trials per MTTR cell (0 = default 3; paper uses 10)")
@@ -157,6 +157,24 @@ func main() {
 			fmt.Println(experiments.AblationBatchInterval(opts))
 			fmt.Println(experiments.AblationSyncSSP(opts))
 			fmt.Println(experiments.AblationPartitioning(opts))
+		case "detect":
+			dt := experiments.Detect(opts)
+			fmt.Println(dt)
+			if *benchOut != "" {
+				if err := writeFile(*benchOut, func(f *os.File) error {
+					enc := json.NewEncoder(f)
+					enc.SetIndent("", "  ")
+					return enc.Encode(dt)
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if dt.Failed() {
+				fmt.Fprintf(os.Stderr, "detect: recall %.2f below 0.9 gate or %d control false positive(s)\n",
+					dt.Recall, dt.ControlFPs)
+				os.Exit(1)
+			}
 		case "gray":
 			g := experiments.Gray(opts)
 			fmt.Println(g)

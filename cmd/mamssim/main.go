@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"mams/internal/cluster"
+	"mams/internal/health"
 	"mams/internal/metrics"
 	"mams/internal/obs"
 	"mams/internal/sim"
@@ -33,6 +34,8 @@ func main() {
 		horizon    = flag.Int("horizon", 120, "seconds to observe after the fault")
 		metricsOut = flag.String("metrics-out", "", "write system metrics (Prometheus text format) to this file")
 		spansOut   = flag.String("spans-out", "", "write protocol spans (Chrome trace JSON, Perfetto-loadable) to this file")
+		seriesOut  = flag.String("series-out", "", "scrape metrics on a 500ms cadence and write the timestamped series (Prometheus text format) to this file")
+		withHealth = flag.Bool("health", false, "attach the gray-failure monitoring plane (mams only); verdicts join the timeline")
 	)
 	flag.Parse()
 
@@ -62,11 +65,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *seriesOut != "" {
+		env.StartTelemetry(obs.SamplerConfig{})
+	}
 	if !sys.AwaitReady(60 * sim.Second) {
 		fmt.Fprintln(os.Stderr, "system never became ready")
 		os.Exit(1)
 	}
 	fmt.Printf("%s ready at t=%v\n", sys.Name(), env.Now())
+	if *withHealth {
+		if mc == nil {
+			fmt.Fprintln(os.Stderr, "-health requires -system mams")
+			os.Exit(2)
+		}
+		mc.StartHealth(health.Config{})
+	}
 
 	col := &metrics.Collector{}
 	drv := workload.NewDriver(env, sys, 4, col.Observe)
@@ -137,11 +150,18 @@ func main() {
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 	if *spansOut != "" {
-		if err := writeSpans(*spansOut, env.Spans.Spans()); err != nil {
+		if err := writeSpans(*spansOut, env.Spans.Spans(), env.Sampler); err != nil {
 			fmt.Fprintf(os.Stderr, "spans-out: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("spans written to %s (load in Perfetto / chrome://tracing)\n", *spansOut)
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, env.Sampler); err != nil {
+			fmt.Fprintf(os.Stderr, "series-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("time series written to %s\n", *seriesOut)
 	}
 }
 
@@ -157,12 +177,32 @@ func writeMetrics(path string, reg *obs.Registry) error {
 	return f.Close()
 }
 
-func writeSpans(path string, spans []obs.Span) error {
+// writeSpans emits the protocol spans; when the sampler ran, the scraped
+// series ride along as Perfetto counter tracks.
+func writeSpans(path string, spans []obs.Span, s *obs.Sampler) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := obs.WriteChromeTrace(f, spans); err != nil {
+	werr := error(nil)
+	if s != nil {
+		werr = obs.WriteChromeTraceWithMetrics(f, spans, s)
+	} else {
+		werr = obs.WriteChromeTrace(f, spans)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+func writeSeries(path string, s *obs.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePrometheusSeries(f, s); err != nil {
 		f.Close()
 		return err
 	}
@@ -171,7 +211,8 @@ func writeSpans(path string, spans []obs.Span) error {
 
 func interesting(e trace.Event) bool {
 	switch e.Kind {
-	case trace.KindFault, trace.KindElection, trace.KindFailover, trace.KindRenew, trace.KindState:
+	case trace.KindFault, trace.KindElection, trace.KindFailover, trace.KindRenew,
+		trace.KindState, trace.KindHealth:
 		return true
 	case trace.KindCoord:
 		return e.What == "session-expire"

@@ -23,6 +23,10 @@ type Env struct {
 	RNG   *rng.RNG
 	Obs   *obs.Registry
 	Spans *obs.Tracer
+
+	// Sampler is the time-series telemetry pipeline (nil until
+	// StartTelemetry).
+	Sampler *obs.Sampler
 }
 
 // NewEnv builds an environment modeling the paper's testbed LAN: 20-node
@@ -41,6 +45,19 @@ func NewEnv(seed uint64) *Env {
 	spans := obs.NewTracer(w, tr)
 	net.SetObs(reg, spans)
 	return &Env{World: w, Net: net, Trace: tr, RNG: r, Obs: reg, Spans: spans}
+}
+
+// StartTelemetry starts the periodic sampler scraping this environment's
+// registry into ring-buffered time series (idempotent; returns the existing
+// sampler on repeat calls). Per-node and per-link series appear as the
+// instrumentation creates children; memory stays bounded by the sampler's
+// ring capacity and the registry's child limit.
+func (e *Env) StartTelemetry(cfg obs.SamplerConfig) *obs.Sampler {
+	if e.Sampler == nil {
+		e.Sampler = obs.NewSampler(e.World, e.Obs, cfg)
+		e.Sampler.Start()
+	}
+	return e.Sampler
 }
 
 // RunFor advances virtual time.

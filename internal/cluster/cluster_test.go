@@ -6,6 +6,7 @@ import (
 
 	"mams/internal/cluster"
 	"mams/internal/fsclient"
+	"mams/internal/health"
 	"mams/internal/mams"
 	"mams/internal/obs"
 	"mams/internal/sim"
@@ -246,31 +247,37 @@ func TestVerifyGroupAfterChurnConverges(t *testing.T) {
 }
 
 // TestSeededRunsDumpIdentically pins determinism end to end: two runs with
-// the same seed must produce byte-identical trace dumps and byte-identical
-// exporter output (Prometheus text and Chrome trace JSON). This is the
-// guarantee that makes golden-file comparisons and seed-reported bugs
-// reproducible.
+// the same seed — sampler and health detector attached — must produce
+// byte-identical trace dumps and byte-identical exporter output (Prometheus
+// text, the timestamped series dump, and the Chrome trace with metric
+// tracks). This is the guarantee that makes golden-file comparisons and
+// seed-reported bugs reproducible.
 func TestSeededRunsDumpIdentically(t *testing.T) {
-	run := func() (dump, prom, spans string) {
+	run := func() (dump, prom, series, spans string) {
 		env := cluster.NewEnv(31)
-		sys := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2}).AsSystem()
+		c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2})
+		sys := c.AsSystem()
 		if !sys.AwaitReady(60 * sim.Second) {
 			t.Fatal("system never became ready")
 		}
+		c.StartHealth(health.Config{})
 		sys.CrashPrimary()
 		env.RunFor(30 * sim.Second)
-		var pb, cb bytes.Buffer
+		var pb, sb, cb bytes.Buffer
 		if err := obs.WritePrometheus(&pb, env.Obs); err != nil {
 			t.Fatalf("prometheus export: %v", err)
 		}
-		if err := obs.WriteChromeTrace(&cb, env.Spans.Spans()); err != nil {
+		if err := obs.WritePrometheusSeries(&sb, env.Sampler); err != nil {
+			t.Fatalf("series export: %v", err)
+		}
+		if err := obs.WriteChromeTraceWithMetrics(&cb, env.Spans.Spans(), env.Sampler); err != nil {
 			t.Fatalf("chrome trace export: %v", err)
 		}
-		return env.Trace.Dump(), pb.String(), cb.String()
+		return env.Trace.Dump(), pb.String(), sb.String(), cb.String()
 	}
-	d1, p1, s1 := run()
-	d2, p2, s2 := run()
-	if d1 == "" || p1 == "" || s1 == "" {
+	d1, p1, q1, s1 := run()
+	d2, p2, q2, s2 := run()
+	if d1 == "" || p1 == "" || q1 == "" || s1 == "" {
 		t.Fatal("empty dump or export")
 	}
 	if d1 != d2 {
@@ -278,6 +285,9 @@ func TestSeededRunsDumpIdentically(t *testing.T) {
 	}
 	if p1 != p2 {
 		t.Error("prometheus exports differ between identically-seeded runs")
+	}
+	if q1 != q2 {
+		t.Error("series exports differ between identically-seeded runs")
 	}
 	if s1 != s2 {
 		t.Error("chrome trace exports differ between identically-seeded runs")
@@ -338,4 +348,3 @@ func TestLoneSurvivorRecoversWritesAfterFailover(t *testing.T) {
 		t.Fatalf("only %d acks after failover, want a steady stream", okPost)
 	}
 }
-

@@ -6,7 +6,9 @@ import (
 	"mams/internal/blockmap"
 	"mams/internal/coord"
 	"mams/internal/fsclient"
+	"mams/internal/health"
 	"mams/internal/mams"
+	"mams/internal/obs"
 	"mams/internal/partition"
 	"mams/internal/sim"
 	"mams/internal/simnet"
@@ -95,6 +97,11 @@ type MAMSCluster struct {
 
 	// Migrator is the live-migration coordinator (nil until StartMigrator).
 	Migrator *mams.Migrator
+
+	// Prober and Health are the gray-failure monitoring plane (nil until
+	// StartHealth).
+	Prober *health.Prober
+	Health *health.Detector
 
 	clientSeq  int
 	breakerCli *breaker
@@ -312,6 +319,32 @@ func (c *MAMSCluster) StartMigrator() *mams.Migrator {
 	}
 	c.Migrator = mg
 	return mg
+}
+
+// StartHealth wires the gray-failure monitoring plane over every MDS node:
+// the environment's telemetry sampler (started on demand), an active prober
+// on its own dedicated node, and the signal-driven detector. Idempotent.
+// cfg zero values take the detector defaults; the prober probes at the
+// sampler cadence.
+func (c *MAMSCluster) StartHealth(cfg health.Config) *health.Detector {
+	if c.Health != nil {
+		return c.Health
+	}
+	sampler := c.Env.StartTelemetry(obs.SamplerConfig{})
+	var targets []simnet.NodeID
+	var names []string
+	for _, ids := range c.GroupIDs {
+		for _, id := range ids {
+			targets = append(targets, id)
+			names = append(names, string(id))
+		}
+	}
+	host := c.Env.Net.AddNode(NodeID("health", "prober"), nil)
+	c.Prober = health.NewProber(host, targets, sampler.Every())
+	c.Prober.Start()
+	c.Health = health.NewDetector(c.Env.World, sampler, c.Env.Obs, c.Env.Trace, names, cfg)
+	c.Health.Start()
+	return c.Health
 }
 
 // breaker is a lazily created out-of-band coordination client used by

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDetectParallelDeterminism pins the detect sweep's CI gates (recall,
+// control false positives) and its byte-identity across worker counts: the
+// scored verdicts must not depend on how cells are scheduled.
+func TestDetectParallelDeterminism(t *testing.T) {
+	seqOpts := Options{Seed: 1, Parallelism: 1}
+	parOpts := Options{Seed: 1, Parallelism: 6}
+
+	seq := Detect(seqOpts)
+	par := Detect(parOpts)
+
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Errorf("scored cells diverge:\nseq: %+v\npar: %+v", seq.Cells, par.Cells)
+	}
+	if s, p := seq.String(), par.String(); s != p {
+		t.Errorf("rendered reports diverge:\n--- sequential ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if seq.Failed() {
+		t.Fatalf("detect sweep fails its own gate: recall %.2f, control FPs %d\n%s",
+			seq.Recall, seq.ControlFPs, seq.String())
+	}
+}

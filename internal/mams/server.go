@@ -6,6 +6,7 @@ import (
 
 	"mams/internal/blockmap"
 	"mams/internal/coord"
+	"mams/internal/health"
 	"mams/internal/journal"
 	"mams/internal/namespace"
 	"mams/internal/obs"
@@ -1032,6 +1033,14 @@ func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 		s.onMigrateIngest(m, reply)
 	case LoadReport:
 		s.onLoadReport(m, reply)
+	case health.ProbeReq:
+		// Answer after a modeled slice of local CPU: a slowed-down node's
+		// probes come back visibly late, which is the detector's slowdown
+		// signal. The response carries the local clock for drift
+		// estimation.
+		s.node.After(health.ProbeCost, "health-probe", func() {
+			reply(health.ProbeResp{LocalNow: s.node.LocalNow()})
+		})
 	default:
 		reply(nil)
 	}

@@ -80,6 +80,90 @@ func TestChildLimitStableIdentity(t *testing.T) {
 	}
 }
 
+// Merging registries that each already aggregated overflow children must
+// not double-count the overflow bucket: the source overflow children fold
+// into exactly one destination overflow child with total mass conserved,
+// and that aggregate child does not consume one of the destination's
+// regular child-limit slots (pre-fix, a bounded registry that absorbed a
+// merged overflow child silently shrank its regular budget to limit-1).
+func TestMergeOverflowedRegistriesConservesMass(t *testing.T) {
+	mk := func(nodes ...string) *Registry {
+		r := NewRegistry()
+		r.SetChildLimit(2)
+		for _, n := range nodes {
+			r.Counter("mams_z_total", "z", "node", n).Add(1)
+			r.Histogram("mams_z_seconds", "z", []float64{1, 10}, "node", n).Observe(5)
+		}
+		return r
+	}
+	// Each source overflowed: 2 regular children + 1 aggregate.
+	srcA := mk("a", "b", "c", "d")
+	srcB := mk("b", "e", "f", "g")
+	dst := NewRegistry()
+	dst.SetChildLimit(2)
+	for _, src := range []*Registry{srcA, srcB} {
+		if err := dst.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"mams_z_total", "mams_z_seconds"} {
+		f := dst.byName[name]
+		overflow := 0
+		for _, ch := range f.order {
+			if ch.key == overflowKey {
+				overflow++
+			}
+		}
+		if overflow != 1 {
+			t.Fatalf("%s: %d overflow children, want exactly 1", name, overflow)
+		}
+		// limit regular children + the aggregate.
+		if got := len(f.order); got != 3 {
+			t.Fatalf("%s: %d children, want 2 regular + 1 overflow", name, got)
+		}
+	}
+	var cmass float64
+	var hmass uint64
+	for _, ch := range dst.byName["mams_z_total"].order {
+		cmass += ch.c.Value()
+	}
+	for _, ch := range dst.byName["mams_z_seconds"].order {
+		hmass += ch.h.Count()
+	}
+	if cmass != 8 || hmass != 8 {
+		t.Fatalf("merged mass = %v counter / %d histogram obs, want 8 / 8", cmass, hmass)
+	}
+
+	// The aggregate must not eat a regular slot: after absorbing an
+	// overflowed source, a fresh bounded registry still accepts childLimit
+	// distinct regular label sets before collapsing.
+	dst2 := NewRegistry()
+	dst2.SetChildLimit(2)
+	if err := dst2.Merge(srcA); err != nil { // brings a, b, overflow(c+d)
+		t.Fatal(err)
+	}
+	// "a" and "b" filled the two regular slots; a third set overflows.
+	if dst2.Counter("mams_z_total", "z", "node", "x") !=
+		dst2.Counter("mams_z_total", "z", "node", "y") {
+		t.Fatal("post-limit children must share the aggregate")
+	}
+	dst3 := NewRegistry()
+	dst3.SetChildLimit(4)
+	if err := dst3.Merge(srcA); err != nil {
+		t.Fatal(err)
+	}
+	p := dst3.Counter("mams_z_total", "z", "node", "p")
+	q := dst3.Counter("mams_z_total", "z", "node", "q")
+	if p == q {
+		t.Fatal("overflow child consumed a regular slot: limit-4 registry " +
+			"holds a+b+overflow and must still have room for p and q")
+	}
+	agg := dst3.byName["mams_z_total"].byKey[overflowKey]
+	if r := dst3.Counter("mams_z_total", "z", "node", "r"); r != agg.c {
+		t.Fatal("fifth regular label set must collapse into the aggregate")
+	}
+}
+
 // Merge respects the destination's limit: folding an unbounded per-trial
 // registry into a bounded aggregate keeps the aggregate bounded.
 func TestChildLimitAppliesOnMerge(t *testing.T) {

@@ -26,12 +26,36 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// chromeCounterEvent is a "C" (counter) event: Perfetto renders one line
+// chart per (pid, name) from the numeric args, which is how scraped metric
+// series appear alongside the protocol spans.
+type chromeCounterEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat,omitempty"`
+	Ph   string             `json:"ph"`
+	TS   float64            `json:"ts"` // microseconds
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	Args map[string]float64 `json:"args"`
+}
+
+// metricsPID is the synthetic process that hosts counter tracks (the span
+// tracks live in pid 1).
+const metricsPID = 2
+
 // WriteChromeTrace renders completed spans as Chrome trace-event JSON: one
 // "X" (complete) event per span, one simulated node per track (tid), with
 // span/parent ids in args so the causal links survive into the viewer. Open
 // spans (crashed mid-protocol, or the run ended) are skipped. Load the
 // output in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func WriteChromeTrace(w io.Writer, spans []Span) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: spanEvents(spans)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// spanEvents renders spans plus their process/thread metadata.
+func spanEvents(spans []Span) []chromeEvent {
 	// Stable node -> tid assignment: sorted by node name.
 	nodes := map[string]int{}
 	var names []string
@@ -46,11 +70,11 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		nodes[n] = i + 1
 	}
 
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+	events := []chromeEvent{
 		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": "mams-sim"}},
-	}}
+	}
 	for _, n := range names {
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		events = append(events, chromeEvent{
 			Name: "thread_name", Ph: "M", PID: 1, TID: nodes[n],
 			Args: map[string]string{"name": n},
 		})
@@ -64,12 +88,84 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		for k, v := range sp.Args {
 			args[k] = v
 		}
-		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		events = append(events, chromeEvent{
 			Name: sp.Name, Cat: "mams", Ph: "X",
 			TS: float64(sp.Start) / 1e3, Dur: &dur,
 			PID: 1, TID: nodes[sp.Node], Args: args,
 		})
 	}
+	return events
+}
+
+// chromeTraceMixed is chromeTrace with heterogeneous events (spans plus
+// counter tracks); the JSON shape is identical.
+type chromeTraceMixed struct {
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// WriteChromeTraceWithMetrics renders spans (as WriteChromeTrace) plus every
+// scraped series as a Perfetto counter track in a second synthetic process:
+// gauges plot their raw value, counters their windowed rate (events/s over
+// each scrape interval), histograms their windowed p99 — so metric lines sit
+// on the same timeline as the protocol spans that explain them.
+func WriteChromeTraceWithMetrics(w io.Writer, spans []Span, s *Sampler) error {
+	out := chromeTraceMixed{DisplayTimeUnit: "ms"}
+	for _, ev := range spanEvents(spans) {
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	if s != nil {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: metricsPID,
+			Args: map[string]string{"name": "mams-metrics"},
+		})
+		for _, name := range s.FamilyNames() {
+			for _, ts := range s.SeriesOf(name) {
+				track := trackName(name, ts.Labels)
+				for i := 0; i < ts.Len(); i++ {
+					p := ts.At(i)
+					v := p.V
+					if ts.Counter {
+						if i == 0 {
+							continue // no interval to rate over yet
+						}
+						prev := ts.At(i - 1)
+						v = (p.V - prev.V) / (p.At - prev.At).Seconds()
+					}
+					out.TraceEvents = append(out.TraceEvents, chromeCounterEvent{
+						Name: track, Cat: "mams", Ph: "C",
+						TS: float64(p.At) / 1e3, PID: metricsPID,
+						Args: map[string]float64{"value": v},
+					})
+				}
+			}
+			for _, hs := range s.HistsOf(name) {
+				track := trackName(name+"_p99", hs.Labels)
+				for i := 1; i < hs.Len(); i++ {
+					p, prev := hs.At(i), hs.At(i-1)
+					delta := make([]uint64, len(p.Counts))
+					for j := range delta {
+						delta[j] = p.Counts[j] - prev.Counts[j]
+					}
+					v, ok := BucketQuantile(hs.Bounds, delta, 0.99)
+					if !ok {
+						v = 0 // idle interval: the track drops to zero
+					}
+					out.TraceEvents = append(out.TraceEvents, chromeCounterEvent{
+						Name: track, Cat: "mams", Ph: "C",
+						TS: float64(p.At) / 1e3, PID: metricsPID,
+						Args: map[string]float64{"value": v},
+					})
+				}
+			}
+		}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// trackName renders a counter-track name: family name plus the sorted label
+// block, so per-node tracks stay distinct.
+func trackName(name string, labels []string) string {
+	return name + labelBlock(labels, "", "")
 }

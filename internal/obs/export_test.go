@@ -87,6 +87,8 @@ func TestGoldenPrometheus(t *testing.T) {
 		`mams_ssp_store_seconds_bucket{node="mds-g0-0",le="+Inf"} 5`,
 		"mams_ssp_store_seconds_count{node=\"mds-g0-0\"} 5",
 		`mams_net_messages_sent_total{dst="b",src="a"} 1234`,
+		// Every exposition self-describes its producer.
+		`mams_build_info{version="` + Version + `"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
@@ -128,6 +130,120 @@ func TestGoldenChromeTrace(t *testing.T) {
 		t.Fatalf("open span leaked into the export")
 	}
 	checkGolden(t, "spans.json.golden", buf.Bytes())
+}
+
+// The optional exposition timestamp column: every sample line of a
+// timestamped dump carries the same explicit millisecond stamp.
+func TestPrometheusExplicitTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheusAt(&buf, goldenRegistry(), 1500*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasSuffix(line, " 1500") {
+			t.Fatalf("sample line missing timestamp column: %q", line)
+		}
+	}
+}
+
+// goldenSampler drives a fixed workload through a started sampler on a
+// seeded world: three scrapes at 500 ms cadence with the counter advancing
+// between them.
+func goldenSampler() *Sampler {
+	w := sim.NewWorld()
+	r := NewRegistry()
+	c := r.Counter("mams_ops_done_total", "ops", "node", "a")
+	g := r.Gauge("mams_depth", "depth", "node", "a")
+	h := r.Histogram("mams_op_seconds", "op latency", []float64{0.001, 0.01, 0.1}, "node", "a")
+	s := NewSampler(w, r, SamplerConfig{Every: 500 * sim.Millisecond, Capacity: 8})
+	s.Start()
+	for i := 1; i <= 3; i++ {
+		i := i
+		w.At(sim.Time(i)*400*sim.Millisecond, "load", func() {
+			c.Add(float64(10 * i))
+			g.Set(float64(i))
+			h.Observe(0.005 * float64(i))
+		})
+	}
+	w.RunFor(1600 * sim.Millisecond)
+	return s
+}
+
+func TestGoldenPrometheusSeries(t *testing.T) {
+	s := goldenSampler()
+	var buf bytes.Buffer
+	if err := WritePrometheusSeries(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mams_ops_done_total counter",
+		// One line per scrape, each with its timestamp.
+		`mams_ops_done_total{node="a"} 10 500`,
+		`mams_ops_done_total{node="a"} 30 1000`,
+		`mams_ops_done_total{node="a"} 60 1500`,
+		`mams_op_seconds_bucket{node="a",le="0.01"} 1 500`,
+		// Scrape self-metrics are series too (values trail by one scrape).
+		"# TYPE mams_scrapes_total counter",
+		"mams_scrapes_total 2 1500",
+		"# TYPE mams_scrape_series gauge",
+		`mams_build_info{version="` + Version + `"} 1 500`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "series.prom.golden", buf.Bytes())
+}
+
+func TestChromeTraceWithMetricsCounters(t *testing.T) {
+	s := goldenSampler()
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithMetrics(&buf, goldenSpans(), s); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	counters, spans := 0, 0
+	sawRate, sawP99 := false, false
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "C":
+			counters++
+			name := ev["name"].(string)
+			args := ev["args"].(map[string]any)
+			v, isNum := args["value"].(float64)
+			if !isNum {
+				t.Fatalf("counter event %q has non-numeric value", name)
+			}
+			// Counter series plot rates: 10 -> 30 over the 500ms between
+			// the first two scrapes -> 40/s.
+			if name == `mams_ops_done_total{node="a"}` && v == 40 {
+				sawRate = true
+			}
+			if strings.HasPrefix(name, "mams_op_seconds_p99{") {
+				sawP99 = true
+			}
+		case "X":
+			spans++
+		}
+	}
+	if counters == 0 || spans != 3 {
+		t.Fatalf("events: %d counters, %d spans; want >0 counters and 3 spans", counters, spans)
+	}
+	if !sawRate {
+		t.Fatal("counter family did not export a rate track")
+	}
+	if !sawP99 {
+		t.Fatal("histogram family did not export a p99 track")
+	}
 }
 
 // TestPrometheusDeterministic guards the export ordering: two registries

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"mams/internal/sim"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -14,9 +16,28 @@ import (
 // _sum / _count series. Output is deterministic: families sort by name,
 // children by canonical label key — so golden tests and diffs are stable.
 func WritePrometheus(w io.Writer, r *Registry) error {
+	return writePrometheus(w, r, "")
+}
+
+// WritePrometheusAt renders the registry with an explicit timestamp (in
+// virtual time) appended to every sample line, per the exposition format's
+// optional millisecond-timestamp column. Useful when a dump is one frame of
+// a time series rather than "now".
+func WritePrometheusAt(w io.Writer, r *Registry, at sim.Time) error {
+	return writePrometheus(w, r, tsSuffix(at))
+}
+
+// tsSuffix renders the optional exposition timestamp column: " <ms>".
+func tsSuffix(at sim.Time) string {
+	return " " + strconv.FormatInt(int64(at/sim.Millisecond), 10)
+}
+
+func writePrometheus(w io.Writer, r *Registry, suffix string) error {
 	if r == nil {
 		return nil
 	}
+	// Every exposition self-describes its producer, wmi_exporter-style.
+	registerBuildInfo(r)
 	for _, name := range r.Names() {
 		f := r.byName[name]
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
@@ -26,7 +47,7 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		children := append([]*child(nil), f.order...)
 		sort.Slice(children, func(i, j int) bool { return children[i].key < children[j].key })
 		for _, ch := range children {
-			if err := writeChild(w, f, ch); err != nil {
+			if err := writeChild(w, f, ch, suffix); err != nil {
 				return err
 			}
 		}
@@ -34,34 +55,81 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	return nil
 }
 
-func writeChild(w io.Writer, f *family, ch *child) error {
+func writeChild(w io.Writer, f *family, ch *child, suffix string) error {
 	switch f.kind {
 	case kindCounter:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(ch.labels, "", ""), fnum(ch.c.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s%s\n", f.name, labelBlock(ch.labels, "", ""), fnum(ch.c.Value()), suffix)
 		return err
 	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelBlock(ch.labels, "", ""), fnum(ch.g.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s%s\n", f.name, labelBlock(ch.labels, "", ""), fnum(ch.g.Value()), suffix)
 		return err
 	case kindHistogram:
-		h := ch.h
-		cum := uint64(0)
-		for i, b := range h.bounds {
-			cum += h.counts[i]
-			le := strconv.FormatFloat(b, 'g', -1, 64)
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, labelBlock(ch.labels, "le", le), cum); err != nil {
-				return err
+		return writeHistSample(w, f.name, ch.labels, ch.h.bounds, ch.h.counts, ch.h.sum, ch.h.n, suffix)
+	}
+	return nil
+}
+
+// writeHistSample renders one histogram snapshot as cumulative _bucket lines
+// plus _sum and _count, all sharing one optional timestamp suffix.
+func writeHistSample(w io.Writer, name string, labels []string, bounds []float64, counts []uint64, sum float64, n uint64, suffix string) error {
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			name, labelBlock(labels, "le", le), cum, suffix); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+		name, labelBlock(labels, "le", "+Inf"), cum, suffix); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s%s\n%s_count%s %d%s\n",
+		name, labelBlock(labels, "", ""), fnum(sum), suffix,
+		name, labelBlock(labels, "", ""), n, suffix)
+	return err
+}
+
+// WritePrometheusSeries renders every series the sampler has scraped as
+// multi-timestamp Prometheus text: one # HELP-less TYPE header per family,
+// then each child's full retained history, one exposition line (with the
+// millisecond-timestamp column) per scrape. Families sort by name, children
+// by label key, points oldest-first — byte-deterministic for a seeded run.
+func WritePrometheusSeries(w io.Writer, s *Sampler) error {
+	if s == nil {
+		return nil
+	}
+	for _, name := range s.FamilyNames() {
+		plain := s.SeriesOf(name)
+		hists := s.HistsOf(name)
+		k := "gauge"
+		if len(hists) > 0 {
+			k = "histogram"
+		} else if len(plain) > 0 && plain[0].Counter {
+			k = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, k); err != nil {
+			return err
+		}
+		for _, ts := range plain {
+			for i := 0; i < ts.Len(); i++ {
+				p := ts.At(i)
+				if _, err := fmt.Fprintf(w, "%s%s %s%s\n",
+					name, labelBlock(ts.Labels, "", ""), fnum(p.V), tsSuffix(p.At)); err != nil {
+					return err
+				}
 			}
 		}
-		cum += h.counts[len(h.bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, labelBlock(ch.labels, "le", "+Inf"), cum); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
-			f.name, labelBlock(ch.labels, "", ""), fnum(h.sum),
-			f.name, labelBlock(ch.labels, "", ""), h.n); err != nil {
-			return err
+		for _, hs := range hists {
+			for i := 0; i < hs.Len(); i++ {
+				p := hs.At(i)
+				if err := writeHistSample(w, name, hs.Labels, hs.Bounds,
+					p.Counts, p.Sum, p.N, tsSuffix(p.At)); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

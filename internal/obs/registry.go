@@ -164,6 +164,77 @@ func (h *Histogram) Bounds() []float64 {
 	return h.bounds
 }
 
+// Counts returns the per-bucket (non-cumulative) counts; the last entry is
+// the implicit +Inf bucket. Shared; do not modify. Nil-safe.
+func (h *Histogram) Counts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	return h.counts
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of everything observed so
+// far, interpolating linearly inside the winning bucket. Observations in
+// the +Inf bucket clamp to the last finite bound. Returns false when the
+// histogram is empty (or nil).
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	return BucketQuantile(h.bounds, h.counts, q)
+}
+
+// BucketQuantile estimates the q-quantile of a fixed-bucket distribution:
+// bounds are ascending upper bounds, counts has len(bounds)+1 entries with
+// the overflow (+Inf) bucket last. It interpolates linearly inside the
+// winning bucket (the first bucket's lower edge is 0, matching latency and
+// size metrics), and clamps +Inf-bucket hits to the last finite bound. The
+// same estimator serves whole-run histograms and windowed deltas — the
+// sampler's windowed quantiles are BucketQuantile over a ring-buffer delta.
+func BucketQuantile(bounds []float64, counts []uint64, q float64) (float64, bool) {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) != len(bounds)+1 {
+		return 0, false
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i == len(bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			return bounds[len(bounds)-1], true
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		// Position of the target rank inside this bucket, in (0, 1].
+		into := float64(rank-(cum-c)) / float64(c)
+		return lo + (hi-lo)*into, true
+	}
+	return bounds[len(bounds)-1], true
+}
+
 // ExpBuckets builds n bounds growing geometrically from start by factor.
 func ExpBuckets(start, factor float64, n int) []float64 {
 	out := make([]float64, n)
@@ -217,6 +288,9 @@ const OverflowLabelValue = "_overflow"
 
 // overflowLabels is the label set of the aggregate child.
 var overflowLabels = []string{"agg", OverflowLabelValue}
+
+// overflowKey is its canonical key.
+var overflowKey = labelKey(overflowLabels)
 
 // SetChildLimit bounds the number of labeled children per metric family.
 // Once a family holds n children, further distinct label sets collapse into
@@ -277,13 +351,25 @@ func (r *Registry) lookup(name, help string, k kind, bounds []float64, labels []
 	}
 	key := labelKey(labels)
 	ch := f.byKey[key]
-	if ch == nil && r.childLimit > 0 && len(f.order) >= r.childLimit {
-		// Family is at its cardinality bound: collapse this label set into
-		// the aggregate overflow child (created on first overflow, so a
-		// family tops out at childLimit+1 children).
-		key = labelKey(overflowLabels)
-		labels = overflowLabels
-		ch = f.byKey[key]
+	if ch == nil && r.childLimit > 0 && key != overflowKey {
+		// The aggregate child never consumes a regular slot: a family tops
+		// out at childLimit regular children plus the overflow child,
+		// regardless of whether the overflow child arrived via local
+		// collapse or via Merge from a registry that had already
+		// aggregated (counting it against the limit would silently shrink
+		// the budget to childLimit-1 after such a merge).
+		limit := r.childLimit
+		if f.byKey[overflowKey] != nil {
+			limit++
+		}
+		if len(f.order) >= limit {
+			// Family is at its cardinality bound: collapse this label set
+			// into the aggregate overflow child (created on first
+			// overflow).
+			key = overflowKey
+			labels = overflowLabels
+			ch = f.byKey[key]
+		}
 	}
 	if ch == nil {
 		ch = &child{labels: append([]string(nil), labels...), key: key}

@@ -131,6 +131,61 @@ func TestExpBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{bounds: []float64{1, 2, 4, 8}, counts: make([]uint64, 5)}
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("empty histogram must report no quantile")
+	}
+	// 100 observations uniform over (0, 4]: 25 per finite bucket ≤4.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 1},         // exactly fills bucket (0,1]
+		{0.5, 2},          // exactly fills (1,2]
+		{0.75, 3},         // halfway into (2,4]
+		{1, 4},            // top of the last occupied bucket
+		{0.001, 1.0 / 25}, // first observation interpolates near the bottom
+	} {
+		got, ok := h.Quantile(tc.q)
+		if !ok {
+			t.Fatalf("q=%v: no value", tc.q)
+		}
+		if got < tc.want-1e-9 || got > tc.want+1e-9 {
+			t.Fatalf("q=%v = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// +Inf-bucket mass clamps to the last finite bound.
+	h2 := &Histogram{bounds: []float64{1, 2}, counts: make([]uint64, 3)}
+	h2.Observe(50)
+	if got, ok := h2.Quantile(0.99); !ok || got != 2 {
+		t.Fatalf("overflow quantile = %v %v, want 2 true", got, ok)
+	}
+	var nilH *Histogram
+	if _, ok := nilH.Quantile(0.5); ok {
+		t.Fatal("nil histogram must report no quantile")
+	}
+}
+
+func TestBucketQuantileDelta(t *testing.T) {
+	// The sampler's windowed quantiles subtract ring snapshots and feed the
+	// delta here: only the window's observations count.
+	bounds := []float64{0.001, 0.01, 0.1}
+	old := []uint64{100, 0, 0, 0} // before the window: all fast
+	cur := []uint64{100, 0, 90, 10}
+	delta := make([]uint64, len(cur))
+	for i := range cur {
+		delta[i] = cur[i] - old[i]
+	}
+	got, ok := BucketQuantile(bounds, delta, 0.5)
+	if !ok || got < 0.01 || got > 0.1 {
+		t.Fatalf("windowed p50 = %v %v, want inside (0.01, 0.1]", got, ok)
+	}
+	if _, ok := BucketQuantile(bounds, []uint64{1, 2}, 0.5); ok {
+		t.Fatal("mis-sized counts must report no quantile")
+	}
+}
+
 func TestNamesSorted(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("mams_z_total", "z")

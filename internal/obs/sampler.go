@@ -1,0 +1,427 @@
+package obs
+
+import (
+	"sort"
+
+	"mams/internal/sim"
+)
+
+// Version labels mams_build_info, wmi_exporter-style: a constant-1 gauge
+// whose labels carry build identity, so every scrape self-describes the
+// exporter that produced it. The simulation has no wall clock or git hash;
+// the version tracks the repo's PR sequence.
+const Version = "0.9.0"
+
+// registerBuildInfo installs the constant build-identity gauge.
+func registerBuildInfo(r *Registry) {
+	r.Gauge("mams_build_info",
+		"Constant 1; labels carry the build/version identity of the exporter.",
+		"version", Version).Set(1)
+}
+
+// Point is one scraped sample of a counter or gauge child.
+type Point struct {
+	At sim.Time
+	V  float64
+}
+
+// TimeSeries is a bounded ring of scraped samples for one counter or gauge
+// child. Memory is bounded twice over: the ring overwrites its oldest point
+// at capacity, and the number of series per family is bounded by the
+// registry's child-limit machinery (an overflowed family contributes one
+// aggregate series, not one per label set).
+type TimeSeries struct {
+	Name    string
+	Labels  []string // alternating key/value, as registered
+	Counter bool     // false: gauge
+
+	key        string
+	pts        []Point
+	head, size int
+}
+
+func newTimeSeries(name string, labels []string, key string, counter bool, capacity int) *TimeSeries {
+	return &TimeSeries{Name: name, Labels: append([]string(nil), labels...),
+		Counter: counter, key: key, pts: make([]Point, capacity)}
+}
+
+func (ts *TimeSeries) push(p Point) {
+	if ts.size < len(ts.pts) {
+		ts.pts[(ts.head+ts.size)%len(ts.pts)] = p
+		ts.size++
+		return
+	}
+	ts.pts[ts.head] = p
+	ts.head = (ts.head + 1) % len(ts.pts)
+}
+
+// Len reports the number of retained points.
+func (ts *TimeSeries) Len() int {
+	if ts == nil {
+		return 0
+	}
+	return ts.size
+}
+
+// At returns the i-th retained point, oldest first.
+func (ts *TimeSeries) At(i int) Point { return ts.pts[(ts.head+i)%len(ts.pts)] }
+
+// Last returns the newest point.
+func (ts *TimeSeries) Last() (Point, bool) {
+	if ts.Len() == 0 {
+		return Point{}, false
+	}
+	return ts.At(ts.size - 1), true
+}
+
+// window returns the oldest retained point inside the trailing window ending
+// at the newest point, and the newest point. ok requires two distinct
+// samples.
+func (ts *TimeSeries) window(w sim.Time) (first, last Point, ok bool) {
+	n := ts.Len()
+	if n < 2 {
+		return Point{}, Point{}, false
+	}
+	last = ts.At(n - 1)
+	first = last
+	for i := n - 2; i >= 0; i-- {
+		p := ts.At(i)
+		if w > 0 && p.At < last.At-w {
+			break
+		}
+		first = p
+	}
+	return first, last, first.At < last.At
+}
+
+// Delta returns the value change over the trailing window (w <= 0 means the
+// whole ring). For counters this is the number of events in the window.
+func (ts *TimeSeries) Delta(w sim.Time) (float64, bool) {
+	first, last, ok := ts.window(w)
+	if !ok {
+		return 0, false
+	}
+	return last.V - first.V, true
+}
+
+// Rate returns the per-second value change over the trailing window — the
+// counter→rate derivation (negative for a falling gauge; counters never
+// fall).
+func (ts *TimeSeries) Rate(w sim.Time) (float64, bool) {
+	first, last, ok := ts.window(w)
+	if !ok {
+		return 0, false
+	}
+	return (last.V - first.V) / (last.At - first.At).Seconds(), true
+}
+
+// HistPoint is one scraped histogram snapshot (cumulative since creation).
+type HistPoint struct {
+	At     sim.Time
+	Counts []uint64
+	Sum    float64
+	N      uint64
+}
+
+// HistSeries is a bounded ring of histogram snapshots for one child; the
+// windowed delta of two snapshots is the distribution of just the window's
+// observations, which is what SLO burn wants (a whole-run p99 never recovers
+// after a transient).
+type HistSeries struct {
+	Name   string
+	Labels []string
+	Bounds []float64
+
+	key        string
+	pts        []HistPoint
+	head, size int
+}
+
+func newHistSeries(name string, labels []string, key string, bounds []float64, capacity int) *HistSeries {
+	return &HistSeries{Name: name, Labels: append([]string(nil), labels...),
+		Bounds: bounds, key: key, pts: make([]HistPoint, capacity)}
+}
+
+func (hs *HistSeries) push(p HistPoint) {
+	if hs.size < len(hs.pts) {
+		hs.pts[(hs.head+hs.size)%len(hs.pts)] = p
+		hs.size++
+		return
+	}
+	hs.pts[hs.head] = p
+	hs.head = (hs.head + 1) % len(hs.pts)
+}
+
+// Len reports the number of retained snapshots.
+func (hs *HistSeries) Len() int {
+	if hs == nil {
+		return 0
+	}
+	return hs.size
+}
+
+// At returns the i-th retained snapshot, oldest first.
+func (hs *HistSeries) At(i int) HistPoint { return hs.pts[(hs.head+i)%len(hs.pts)] }
+
+// Last returns the newest snapshot.
+func (hs *HistSeries) Last() (HistPoint, bool) {
+	if hs.Len() == 0 {
+		return HistPoint{}, false
+	}
+	return hs.At(hs.size - 1), true
+}
+
+// windowDelta returns the per-bucket observation counts inside the trailing
+// window (w <= 0 means the whole ring, against an implicit empty start).
+func (hs *HistSeries) windowDelta(w sim.Time) (delta []uint64, n uint64, ok bool) {
+	size := hs.Len()
+	if size == 0 {
+		return nil, 0, false
+	}
+	last := hs.At(size - 1)
+	var base *HistPoint
+	for i := size - 2; i >= 0; i-- {
+		p := hs.At(i)
+		if w > 0 && p.At < last.At-w {
+			break
+		}
+		base = &hs.pts[(hs.head+i)%len(hs.pts)]
+	}
+	delta = make([]uint64, len(last.Counts))
+	copy(delta, last.Counts)
+	n = last.N
+	if base != nil {
+		for i := range delta {
+			delta[i] -= base.Counts[i]
+		}
+		n -= base.N
+	}
+	return delta, n, true
+}
+
+// WindowCount returns the number of observations inside the trailing window.
+func (hs *HistSeries) WindowCount(w sim.Time) (uint64, bool) {
+	_, n, ok := hs.windowDelta(w)
+	return n, ok
+}
+
+// WindowQuantile estimates the q-quantile of only the observations recorded
+// inside the trailing window — the histogram→windowed-quantile derivation.
+func (hs *HistSeries) WindowQuantile(q float64, w sim.Time) (float64, bool) {
+	delta, _, ok := hs.windowDelta(w)
+	if !ok {
+		return 0, false
+	}
+	return BucketQuantile(hs.Bounds, delta, q)
+}
+
+// SamplerConfig sizes the telemetry pipeline.
+type SamplerConfig struct {
+	// Every is the scrape cadence (default 500 ms). The sampler runs on the
+	// world's clock directly — the monitoring plane is not a simulated node,
+	// so gray faults never skew the scraper itself.
+	Every sim.Time
+	// Capacity is the per-series ring size (default 256 points; at the
+	// default cadence that is a 128 s trailing horizon).
+	Capacity int
+}
+
+func (c SamplerConfig) withDefaults() SamplerConfig {
+	if c.Every <= 0 {
+		c.Every = 500 * sim.Millisecond
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 256
+	}
+	return c
+}
+
+// Sampler periodically scrapes a Registry into ring-buffered series: one
+// TimeSeries per counter/gauge child, one HistSeries per histogram child.
+// Whatever per-node and per-link children the instrumentation creates become
+// per-node and per-link series — bounded by the registry's child limit.
+// Everything is deterministic: scrapes fire on the virtual clock and iterate
+// children in registration order (itself deterministic in a seeded
+// simulation); exports sort.
+type Sampler struct {
+	world *sim.World
+	reg   *Registry
+	cfg   SamplerConfig
+
+	series  map[string]*TimeSeries // family name + "|" + child key
+	hists   map[string]*HistSeries
+	byFam   map[string][]*TimeSeries
+	histFam map[string][]*HistSeries
+
+	// wmi_exporter-style scrape self-observation, registered in the scraped
+	// registry itself (so it shows up in dumps and in the next scrape). No
+	// wall clock exists, so there is no scrape-duration metric.
+	scrapes *Counter
+	samples *Counter
+	nseries *Gauge
+
+	started bool
+}
+
+// NewSampler builds a sampler over reg on the world's clock. Call Start to
+// begin scraping, or Scrape for manual control (tests).
+func NewSampler(w *sim.World, reg *Registry, cfg SamplerConfig) *Sampler {
+	s := &Sampler{
+		world:   w,
+		reg:     reg,
+		cfg:     cfg.withDefaults(),
+		series:  map[string]*TimeSeries{},
+		hists:   map[string]*HistSeries{},
+		byFam:   map[string][]*TimeSeries{},
+		histFam: map[string][]*HistSeries{},
+	}
+	if reg != nil {
+		registerBuildInfo(reg)
+		s.scrapes = reg.Counter("mams_scrapes_total", "Sampler scrapes completed.")
+		s.samples = reg.Counter("mams_scrape_samples_total", "Sample points appended across all series.")
+		s.nseries = reg.Gauge("mams_scrape_series", "Live time series tracked by the sampler.")
+	}
+	return s
+}
+
+// Every returns the effective scrape cadence.
+func (s *Sampler) Every() sim.Time { return s.cfg.Every }
+
+// Start arms the repeating scrape timer. Idempotent.
+func (s *Sampler) Start() {
+	if s == nil || s.started || s.reg == nil {
+		return
+	}
+	s.started = true
+	var tick func()
+	tick = func() {
+		s.Scrape()
+		s.world.After(s.cfg.Every, "obs-scrape", tick)
+	}
+	s.world.After(s.cfg.Every, "obs-scrape", tick)
+}
+
+// Scrape takes one snapshot of every child in the registry right now.
+func (s *Sampler) Scrape() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	now := s.world.Now()
+	appended := 0
+	for _, name := range s.reg.names {
+		f := s.reg.byName[name]
+		for _, ch := range f.order {
+			id := name + "|" + ch.key
+			switch f.kind {
+			case kindCounter, kindGauge:
+				ts := s.series[id]
+				if ts == nil {
+					ts = newTimeSeries(name, ch.labels, ch.key, f.kind == kindCounter, s.cfg.Capacity)
+					s.series[id] = ts
+					s.byFam[name] = append(s.byFam[name], ts)
+				}
+				v := 0.0
+				if f.kind == kindCounter {
+					v = ch.c.Value()
+				} else {
+					v = ch.g.Value()
+				}
+				ts.push(Point{At: now, V: v})
+				appended++
+			case kindHistogram:
+				hs := s.hists[id]
+				if hs == nil {
+					hs = newHistSeries(name, ch.labels, ch.key, ch.h.Bounds(), s.cfg.Capacity)
+					s.hists[id] = hs
+					s.histFam[name] = append(s.histFam[name], hs)
+				}
+				counts := make([]uint64, len(ch.h.counts))
+				copy(counts, ch.h.counts)
+				hs.push(HistPoint{At: now, Counts: counts, Sum: ch.h.sum, N: ch.h.n})
+				appended++
+			}
+		}
+	}
+	// Self-metrics update after the walk: the values a scrape reports are
+	// those of the previous scrape, which keeps the walk free of
+	// mutation-during-iteration and stays deterministic.
+	s.scrapes.Inc()
+	s.samples.Add(float64(appended))
+	s.nseries.Set(float64(len(s.series) + len(s.hists)))
+}
+
+// Series returns the scraped series for one counter/gauge child, or nil.
+func (s *Sampler) Series(name string, labels ...string) *TimeSeries {
+	if s == nil {
+		return nil
+	}
+	return s.series[name+"|"+labelKey(labels)]
+}
+
+// Hist returns the scraped series for one histogram child, or nil.
+func (s *Sampler) Hist(name string, labels ...string) *HistSeries {
+	if s == nil {
+		return nil
+	}
+	return s.hists[name+"|"+labelKey(labels)]
+}
+
+// SeriesOf returns every counter/gauge series of a family, sorted by label
+// key.
+func (s *Sampler) SeriesOf(name string) []*TimeSeries {
+	if s == nil {
+		return nil
+	}
+	out := append([]*TimeSeries(nil), s.byFam[name]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// HistsOf returns every histogram series of a family, sorted by label key.
+func (s *Sampler) HistsOf(name string) []*HistSeries {
+	if s == nil {
+		return nil
+	}
+	out := append([]*HistSeries(nil), s.histFam[name]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// FamilyNames returns every family that has at least one scraped series,
+// sorted.
+func (s *Sampler) FamilyNames() []string {
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	for n := range s.byFam {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range s.histFam {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Label returns the value of one label on the series ("" when absent).
+func (ts *TimeSeries) Label(k string) string { return labelValue(ts.Labels, k) }
+
+// Label returns the value of one label on the series ("" when absent).
+func (hs *HistSeries) Label(k string) string { return labelValue(hs.Labels, k) }
+
+func labelValue(pairs []string, k string) string {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if pairs[i] == k {
+			return pairs[i+1]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"mams/internal/sim"
+)
+
+func TestTimeSeriesRingAndDerivations(t *testing.T) {
+	ts := newTimeSeries("mams_x_total", []string{"node", "a"}, "node=a", true, 4)
+	for i := 1; i <= 6; i++ {
+		ts.push(Point{At: sim.Time(i) * sim.Second, V: float64(i * 10)})
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("ring len = %d, want capacity 4", ts.Len())
+	}
+	// Oldest two points (10, 20) were overwritten.
+	if first := ts.At(0); first.V != 30 || first.At != 3*sim.Second {
+		t.Fatalf("oldest = %+v, want V=30 at 3s", first)
+	}
+	last, ok := ts.Last()
+	if !ok || last.V != 60 {
+		t.Fatalf("last = %+v", last)
+	}
+	// Trailing 2s window: from the point at 4s (within 6s-2s) to 6s.
+	d, ok := ts.Delta(2 * sim.Second)
+	if !ok || d != 20 {
+		t.Fatalf("delta = %v %v, want 20", d, ok)
+	}
+	r, ok := ts.Rate(2 * sim.Second)
+	if !ok || r != 10 {
+		t.Fatalf("rate = %v %v, want 10/s", r, ok)
+	}
+	// Whole-ring window.
+	if d, _ := ts.Delta(0); d != 30 {
+		t.Fatalf("full delta = %v, want 30", d)
+	}
+	// One point: no window.
+	single := newTimeSeries("mams_y", nil, "", false, 4)
+	single.push(Point{At: sim.Second, V: 1})
+	if _, ok := single.Delta(0); ok {
+		t.Fatal("single-point series must not report a delta")
+	}
+}
+
+func TestHistSeriesWindowQuantile(t *testing.T) {
+	w := sim.NewWorld()
+	r := NewRegistry()
+	h := r.Histogram("mams_lat_seconds", "lat", []float64{0.001, 0.002, 0.004, 0.008}, "node", "a")
+	s := NewSampler(w, r, SamplerConfig{Every: sim.Second, Capacity: 16})
+	s.Start()
+	// Fast observations for 3s, then slow ones.
+	for i := 0; i < 30; i++ {
+		w.At(sim.Time(i)*100*sim.Millisecond, "fast", func() { h.Observe(0.0015) })
+	}
+	for i := 0; i < 30; i++ {
+		w.At(4*sim.Second+sim.Time(i)*100*sim.Millisecond, "slow", func() { h.Observe(0.006) })
+	}
+	w.RunFor(8 * sim.Second)
+
+	hs := s.Hist("mams_lat_seconds", "node", "a")
+	if hs == nil {
+		t.Fatal("no hist series scraped")
+	}
+	// Whole-run p99 is poisoned by the slow tail...
+	whole, ok := hs.WindowQuantile(0.99, 0)
+	if !ok || whole < 0.004 {
+		t.Fatalf("whole-run p99 = %v %v, want >= 0.004", whole, ok)
+	}
+	// ...while a 2s trailing window sees only the slow phase.
+	p99, ok := hs.WindowQuantile(0.99, 2*sim.Second)
+	if !ok || p99 < 0.004 || p99 > 0.008 {
+		t.Fatalf("windowed p99 = %v %v, want in (0.004, 0.008]", p99, ok)
+	}
+	n, ok := hs.WindowCount(2 * sim.Second)
+	if !ok || n == 0 || n > 25 {
+		t.Fatalf("window count = %d %v, want a 2s slice of the slow phase", n, ok)
+	}
+}
+
+// Same seed, same schedule: two independently built worlds produce
+// byte-identical series dumps (the cross-package, full-cluster variant at
+// any -parallelism lives in internal/experiments).
+func TestSamplerDeterministicDump(t *testing.T) {
+	dump := func() string {
+		w := sim.NewWorld()
+		r := NewRegistry()
+		c := r.Counter("mams_work_total", "work", "node", "a")
+		h := r.Histogram("mams_work_seconds", "work", []float64{0.001, 0.01}, "node", "a")
+		s := NewSampler(w, r, SamplerConfig{Every: 250 * sim.Millisecond, Capacity: 32})
+		s.Start()
+		for i := 0; i < 20; i++ {
+			i := i
+			w.At(sim.Time(i)*130*sim.Millisecond, "work", func() {
+				c.Add(float64(i%3 + 1))
+				h.Observe(0.0005 * float64(i%5+1))
+			})
+		}
+		w.RunFor(3 * sim.Second)
+		var b1, b2 bytes.Buffer
+		if err := WritePrometheusSeries(&b1, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteChromeTraceWithMetrics(&b2, nil, s); err != nil {
+			t.Fatal(err)
+		}
+		return b1.String() + b2.String()
+	}
+	if a, b := dump(), dump(); a != b {
+		t.Fatalf("seeded sampler dumps differ:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -158,6 +158,16 @@ type PoolNode struct {
 
 	brown    Brownout
 	brownOps int // data-op counter driving deterministic FailEvery failures
+
+	// Server-side serve instruments, cached on first use. Unlike the
+	// client-side mams_ssp_* metrics (labeled by the issuing host), these
+	// are labeled by the *serving* pool node — the blame-attribution signal
+	// the health detector needs: a browned-out node's serve latency and
+	// error rate degrade while every client's own metrics stay spread
+	// across the pool.
+	obsInit   bool
+	serveHist *obs.Histogram
+	serveErrs *obs.Counter
 }
 
 // NewPoolNode attaches pool storage to a host process.
@@ -200,21 +210,51 @@ func (p *PoolNode) brownFail() bool {
 	return true
 }
 
+// serveObs returns the cached serve-side instruments (nil when
+// observability is off; nil instruments are no-ops).
+func (p *PoolNode) serveObs() (*obs.Histogram, *obs.Counter) {
+	if !p.obsInit {
+		p.obsInit = true
+		reg := p.host.Net().Obs()
+		node := string(p.host.ID())
+		p.serveHist = reg.Histogram("mams_ssp_pool_serve_seconds",
+			"Data-op service time per serving pool node.",
+			obs.ExpBuckets(0.0005, 2, 14), "node", node)
+		p.serveErrs = reg.Counter("mams_ssp_pool_errors_total",
+			"Data ops that failed at the serving pool node.", "node", node)
+	}
+	return p.serveHist, p.serveErrs
+}
+
+// serveDone records one completed data op: true elapsed service time (so
+// host slowdown shows up too, not just the modeled cost) and the error
+// outcome.
+func (p *PoolNode) serveDone(start sim.Time, failed bool) {
+	hist, errs := p.serveObs()
+	hist.Observe((p.host.World().Now() - start).Seconds())
+	if failed {
+		errs.Inc()
+	}
+}
+
 // MaybeHandleRequest serves pool RPCs addressed to the host. Hosts call it
 // from HandleRequest and skip requests it consumed.
 func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(any)) bool {
 	switch m := req.(type) {
 	case storeReq:
+		start := p.host.World().Now()
 		cost := p.brown.stretch(p.params.writeCost(m.Size))
 		if p.brownFail() {
 			// The write grinds for its (degraded) service time and then
 			// errors — the slow-failure shape that defeats fast failover.
 			p.host.After(cost, "ssp-store-brownout", func() {
+				p.serveDone(start, true)
 				reply(storeResp{Err: ErrBrownout.Error()})
 			})
 			return true
 		}
 		p.host.After(cost, "ssp-store", func() {
+			p.serveDone(start, false)
 			p.objects[m.Key] = object{data: append([]byte(nil), m.Data...), size: m.Size}
 			reply(storeResp{})
 		})
@@ -225,6 +265,7 @@ func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(an
 			reply(fetchResp{Err: ErrNotFound.Error()})
 			return true
 		}
+		start := p.host.World().Now()
 		cost := p.params.readCost(obj.size)
 		if from != p.host.ID() {
 			cost += p.params.transferCost(obj.size)
@@ -232,11 +273,13 @@ func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(an
 		cost = p.brown.stretch(cost)
 		if p.brownFail() {
 			p.host.After(cost, "ssp-fetch-brownout", func() {
+				p.serveDone(start, true)
 				reply(fetchResp{Err: ErrBrownout.Error()})
 			})
 			return true
 		}
 		p.host.After(cost, "ssp-fetch", func() {
+			p.serveDone(start, false)
 			reply(fetchResp{Data: append([]byte(nil), obj.data...), Size: obj.size})
 		})
 		return true
@@ -279,12 +322,17 @@ func (p *PoolNode) LocalGet(key Key, cb func(data []byte, size int64, err error)
 		p.host.After(0, "ssp-localget-miss", func() { cb(nil, 0, ErrNotFound) })
 		return
 	}
+	start := p.host.World().Now()
 	cost := p.brown.stretch(p.params.readCost(obj.size))
 	if p.brownFail() {
-		p.host.After(cost, "ssp-localget-brownout", func() { cb(nil, 0, ErrBrownout) })
+		p.host.After(cost, "ssp-localget-brownout", func() {
+			p.serveDone(start, true)
+			cb(nil, 0, ErrBrownout)
+		})
 		return
 	}
 	p.host.After(cost, "ssp-localget", func() {
+		p.serveDone(start, false)
 		cb(append([]byte(nil), obj.data...), obj.size, nil)
 	})
 }

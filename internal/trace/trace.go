@@ -27,6 +27,7 @@ const (
 	KindMapReduce Kind = "mapreduce" // task lifecycle events
 	KindCheck     Kind = "check"     // invariant-checker verdicts (internal/check)
 	KindSpan      Kind = "span"      // causal span begin/end edges (internal/obs)
+	KindHealth    Kind = "health"    // gray-failure detector verdicts (internal/health)
 )
 
 // Event is one timestamped record.

@@ -14,6 +14,9 @@ go test ./...
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
 go test -race -timeout 40m ./internal/mams/...
 go test -race ./internal/obs/...
+# The health detector rides inside every parallel detect cell (one World
+# per worker goroutine); race-test the package directly too.
+go test -race ./internal/health/...
 # Shard-map hashing is on every request's hot path and must stay
 # allocation-free; the race run also covers Install/Clone publication.
 go test -race ./internal/partition/...
@@ -28,12 +31,19 @@ go test -race -timeout 20m ./internal/check/...
 # (TestSeededRunsDumpIdentically); this guards the CLI wiring.
 obsdir="$(mktemp -d)"
 trap 'rm -rf "$obsdir"' EXIT
-go run ./cmd/mamssim -system mams -fault crash -horizon 20 \
-  -metrics-out "$obsdir/m.prom" -spans-out "$obsdir/s.json" >/dev/null
+go run ./cmd/mamssim -system mams -fault crash -horizon 20 -health \
+  -metrics-out "$obsdir/m.prom" -spans-out "$obsdir/s.json" \
+  -series-out "$obsdir/series.prom" >/dev/null
 grep -q '^mams_failover' "$obsdir/m.prom"
 grep -q '^# TYPE mams_net_messages_sent_total counter$' "$obsdir/m.prom"
 head -c 15 "$obsdir/s.json" | grep -q '^{"traceEvents":'
 grep -q '"name":"failover"' "$obsdir/s.json"
+# With -health the sampler runs, so the series dump must carry timestamped
+# samples (including the detector's own state gauge) and the Chrome trace
+# must gain the metrics counter tracks (ph "C", pid 2).
+grep -Eq '^mams_health_state\{node="[^"]+"\} [0-9.]+ [0-9]+$' "$obsdir/series.prom"
+grep -q '^mams_build_info' "$obsdir/series.prom"
+grep -q '"ph":"C"' "$obsdir/s.json"
 # Bounded systematic invariant sweep: crash-only single faults over a small
 # scope (7 schedules) — a smoke test for the full `mamscheck run` matrix.
 go run ./cmd/mamscheck run -members 3 -steps 2 -maxfaults 1 -kinds c -q
@@ -57,4 +67,10 @@ grep -q '"policy": "group-async"' BENCH_tvl.json
 # -full only.
 go run ./cmd/mamsbench -exp shard -bench-out BENCH_shard.json >/dev/null
 grep -q '"policy": "migrate"' BENCH_shard.json
+# Health-detector scoring sweep: 16 ground-truth gray-fault cells + 2
+# fault-free controls; the command exits nonzero when recall < 0.9 or any
+# control cell produces a verdict, and the recorded cells feed
+# EXPERIMENTS.md's detection scorecard.
+go run ./cmd/mamsbench -exp detect -bench-out BENCH_detect.json >/dev/null
+grep -q '"Fault": "brownout"' BENCH_detect.json
 echo "check: OK"
