@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mams/internal/nettrans/testutil"
+)
+
+// runWire is the real-plane smoke benchmark: boot a full single-group MAMS
+// deployment over loopback TCP (every server its own transport, listener,
+// and event loop), drive create/stat through fsclient, and report genuine
+// wall-clock ops/sec. Unlike every other experiment this one measures the
+// host machine, not the simulated cluster — it exists to prove the
+// unmodified state machines serve real traffic, and to give check.sh a
+// bounded end-to-end wire test.
+func runWire(seed uint64, ops int, window int, budget time.Duration) error {
+	if ops <= 0 {
+		ops = 1000
+	}
+	if window <= 0 {
+		window = 16
+	}
+	c, err := testutil.NewCluster(testutil.ClusterConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if !c.AwaitStable(20 * time.Second) {
+		return fmt.Errorf("wire: cluster never reached 1 active + 2 standbys")
+	}
+	if err := c.Mkdir("/wire"); err != nil {
+		return fmt.Errorf("wire: mkdir: %v", err)
+	}
+
+	deadline := time.Now().Add(budget)
+	bench := func(name string, op func(i int) error) (int, float64, error) {
+		sem := make(chan struct{}, window)
+		errs := make(chan error, ops)
+		start := time.Now()
+		n := 0
+		for ; n < ops && time.Now().Before(deadline); n++ {
+			sem <- struct{}{}
+			i := n
+			go func() {
+				defer func() { <-sem }()
+				errs <- op(i)
+			}()
+		}
+		for i := 0; i < cap(sem); i++ {
+			sem <- struct{}{}
+		}
+		elapsed := time.Since(start)
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return n, 0, fmt.Errorf("wire: %s: %v", name, err)
+			}
+		}
+		return n, float64(n) / elapsed.Seconds(), nil
+	}
+
+	created, cps, err := bench("create", func(i int) error {
+		return c.Create(fmt.Sprintf("/wire/f%d", i), 1)
+	})
+	if err != nil {
+		return err
+	}
+	statted, sps, err := bench("stat", func(i int) error {
+		_, err := c.Stat(fmt.Sprintf("/wire/f%d", i%max(created, 1)))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wire smoke (loopback TCP, 3 coord + 3 mds processes, %d-deep pipeline):\n", window)
+	fmt.Printf("  create: %6d ops  %8.0f ops/s\n", created, cps)
+	fmt.Printf("  stat:   %6d ops  %8.0f ops/s\n", statted, sps)
+	if created == 0 || statted == 0 {
+		return fmt.Errorf("wire: no ops completed inside the budget")
+	}
+	return nil
+}

@@ -10,8 +10,22 @@ import (
 	"mams/internal/mams"
 	"mams/internal/obs"
 	"mams/internal/sim"
+	"mams/internal/transport/transporttest"
 	"mams/internal/workload"
 )
+
+// TestClusterTeardownGoroutines pins the sim plane's zero-goroutine
+// property: assembling and running a full MAMS cluster must leave nothing
+// running behind — the same leak check the wire plane's cluster failover
+// test makes after closing its transports.
+func TestClusterTeardownGoroutines(t *testing.T) {
+	defer transporttest.LeakCheck(t)()
+	env := cluster.NewEnv(11)
+	c := cluster.BuildMAMS(env, cluster.MAMSSpec{Groups: 1, BackupsPerGroup: 2})
+	if !c.AwaitStable(30 * sim.Second) {
+		t.Fatal("cluster never stabilized")
+	}
+}
 
 func TestNewEnvDeterministic(t *testing.T) {
 	run := func() sim.Time {

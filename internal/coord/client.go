@@ -4,12 +4,12 @@ import (
 	"hash/fnv"
 
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 )
 
 // ClientConfig configures a coordination-service client.
 type ClientConfig struct {
-	Servers []simnet.NodeID
+	Servers []transport.NodeID
 	// SessionTimeout is proposed when the session is created; the ensemble
 	// expires the session after this much silence (the paper sets 5 s).
 	SessionTimeout sim.Time
@@ -45,7 +45,7 @@ func (c *ClientConfig) defaults() {
 // watch events reach the client.
 type Client struct {
 	cfg     ClientConfig
-	host    *simnet.Node
+	host    transport.Node
 	onEvent func(WatchEvent)
 
 	session     uint64
@@ -54,14 +54,14 @@ type Client struct {
 	idHash      uint64
 	expired     bool
 	started     bool
-	hbTimer     *sim.Timer
+	hbTimer     transport.Timer
 	destroyed   bool
 	lastContact sim.Time
 }
 
 // NewClient attaches a client to host. onEvent receives watch events and
 // the synthetic EventSessionExpired; it may be nil.
-func NewClient(host *simnet.Node, cfg ClientConfig, onEvent func(WatchEvent)) *Client {
+func NewClient(host transport.Node, cfg ClientConfig, onEvent func(WatchEvent)) *Client {
 	cfg.defaults()
 	if len(cfg.Servers) == 0 {
 		panic("coord: client needs at least one server")
@@ -83,7 +83,7 @@ func (c *Client) Session() uint64 {
 func (c *Client) Expired() bool { return c.expired }
 
 // LastContact returns the time of the last successful exchange with the
-// ensemble, stamped on the *host's local clock* (simnet.Node.LocalNow) —
+// ensemble, stamped on the *host's local clock* (transport.Node.LocalNow) —
 // a real process can only read its own clock. Servers use it as a lease:
 // an active that has been out of contact for close to the session timeout
 // must assume its ephemerals are gone and self-fence. Lease arithmetic
@@ -100,7 +100,7 @@ func (c *Client) reqID() uint64 {
 
 // MaybeHandle consumes coordination-service messages addressed to the host.
 // Hosts call it first in their HandleMessage and skip messages it consumed.
-func (c *Client) MaybeHandle(from simnet.NodeID, msg any) bool {
+func (c *Client) MaybeHandle(from transport.NodeID, msg any) bool {
 	if ev, ok := msg.(WatchEvent); ok {
 		if c.onEvent != nil && !c.expired {
 			c.onEvent(ev)
@@ -210,7 +210,7 @@ func (c *Client) expire() {
 	}
 }
 
-func (c *Client) adoptRedirect(leader simnet.NodeID) {
+func (c *Client) adoptRedirect(leader transport.NodeID) {
 	if leader == "" {
 		c.leader = (c.leader + 1) % len(c.cfg.Servers)
 		return
@@ -263,11 +263,11 @@ func (c *Client) attempt(op Op, tries int, cb func(*Result, error)) {
 // the given client node (fault injection: the node's ephemerals vanish when
 // its frozen session times out, and the node itself learns "expired" at its
 // next heartbeat).
-func (c *Client) ForceExpireNode(node simnet.NodeID, cb func(err error)) {
+func (c *Client) ForceExpireNode(node transport.NodeID, cb func(err error)) {
 	c.forceExpireAttempt(node, 0, cb)
 }
 
-func (c *Client) forceExpireAttempt(node simnet.NodeID, tries int, cb func(err error)) {
+func (c *Client) forceExpireAttempt(node transport.NodeID, tries int, cb func(err error)) {
 	if tries >= c.cfg.MaxAttempts {
 		cb(ErrNoQuorum)
 		return

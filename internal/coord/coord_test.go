@@ -4,41 +4,38 @@ import (
 	"errors"
 	"testing"
 
-	"mams/internal/rng"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
+	"mams/internal/transport/transporttest"
 )
 
 // testHost is a minimal process hosting a coordination client.
 type testHost struct {
-	node   *simnet.Node
+	node   transport.Node
 	client *Client
 	events []WatchEvent
 }
 
-func (h *testHost) HandleMessage(from simnet.NodeID, msg any) {
+func (h *testHost) HandleMessage(from transport.NodeID, msg any) {
 	h.client.MaybeHandle(from, msg)
 }
 
 type coordEnv struct {
-	world *sim.World
-	net   *simnet.Network
-	ens   *Ensemble
+	sp  *transporttest.Sim
+	ens *Ensemble
 }
 
 func newEnv(t *testing.T, servers int, seed uint64) *coordEnv {
 	t.Helper()
-	w := sim.NewWorld()
-	w.SetStepLimit(20_000_000)
-	net := simnet.New(w, rng.New(seed), simnet.LatencyModel{Base: 200 * sim.Microsecond, Spread: 0.2}, nil)
-	ens := StartEnsemble(net, servers, nil)
-	return &coordEnv{world: w, net: net, ens: ens}
+	sp := transporttest.NewSim(seed, 20_000_000, 200*sim.Microsecond, 0.2, nil)
+	ens := StartEnsemble(sp.Net, servers, nil)
+	return &coordEnv{sp: sp, ens: ens}
 }
 
 func (e *coordEnv) newHost(t *testing.T, id string, cfg ClientConfig) *testHost {
 	t.Helper()
 	h := &testHost{}
-	h.node = e.net.AddNode(simnet.NodeID(id), h)
+	h.node = e.sp.Net.Listen(transport.NodeID(id), h)
 	cfg.Servers = e.ens.IDs
 	h.client = NewClient(h.node, cfg, func(ev WatchEvent) { h.events = append(h.events, ev) })
 	return h
@@ -49,10 +46,10 @@ func (e *coordEnv) startClient(t *testing.T, h *testHost) {
 	t.Helper()
 	var done bool
 	var startErr error
-	e.world.Defer("start-client", func() {
+	e.sp.World.Defer("start-client", func() {
 		h.client.Start(func(err error) { done, startErr = true, err })
 	})
-	e.world.RunFor(10 * sim.Second)
+	e.sp.World.RunFor(10 * sim.Second)
 	if !done {
 		t.Fatal("client.Start never completed")
 	}
@@ -76,7 +73,7 @@ func TestClientSessionAndCRUD(t *testing.T) {
 		}
 		created = p
 	})
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if created != "/app" {
 		t.Fatalf("created = %q", created)
 	}
@@ -89,7 +86,7 @@ func TestClientSessionAndCRUD(t *testing.T) {
 		}
 		data, version = d, v
 	})
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if string(data) != "cfg" || version != 0 {
 		t.Fatalf("get = %q v%d", data, version)
 	}
@@ -101,27 +98,27 @@ func TestClientSessionAndCRUD(t *testing.T) {
 		}
 		newV = v
 	})
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if newV != 1 {
 		t.Fatalf("version after set = %d", newV)
 	}
 
 	var casErr error
 	h.client.SetData("/app", []byte("x"), 0, func(v int64, err error) { casErr = err })
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if !errors.Is(casErr, ErrBadVersion) {
 		t.Fatalf("CAS err = %v", casErr)
 	}
 
 	var delErr error
 	h.client.Delete("/app", -1, func(err error) { delErr = err })
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if delErr != nil {
 		t.Fatalf("delete: %v", delErr)
 	}
 	var exists bool
 	h.client.Exists("/app", false, func(ex bool, err error) { exists = ex })
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if exists {
 		t.Fatal("node survived delete")
 	}
@@ -135,11 +132,11 @@ func TestWatchDeliveredToOtherClient(t *testing.T) {
 	e.startClient(t, b)
 
 	a.client.Create("/watched", nil, func(string, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	b.client.GetData("/watched", true, func([]byte, int64, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	a.client.SetData("/watched", []byte("new"), -1, func(int64, error) {})
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 
 	if len(b.events) != 1 || b.events[0].Type != EventDataChanged || b.events[0].Path != "/watched" {
 		t.Fatalf("b events = %+v", b.events)
@@ -166,7 +163,7 @@ func TestEphemeralLockHandoffOnUnplug(t *testing.T) {
 		}
 		got = p
 	})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	if got != "/lock" {
 		t.Fatal("active did not acquire lock")
 	}
@@ -174,17 +171,17 @@ func TestEphemeralLockHandoffOnUnplug(t *testing.T) {
 	// Standby contends, loses, and leaves a watch.
 	var contendErr error
 	standby.client.CreateEphemeral("/lock", []byte("standby"), func(p string, err error) { contendErr = err })
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	if !errors.Is(contendErr, ErrNodeExists) {
 		t.Fatalf("contend err = %v", contendErr)
 	}
 	standby.client.Exists("/lock", true, func(bool, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 
 	// Pull the active's network cable.
-	unplugAt := e.world.Now()
-	e.net.Node("active").Unplug()
-	e.world.RunFor(10 * sim.Second)
+	unplugAt := e.sp.World.Now()
+	e.sp.Net.Node("active").Unplug()
+	e.sp.World.RunFor(10 * sim.Second)
 
 	var deletedAt sim.Time
 	for _, ev := range standby.events {
@@ -199,7 +196,7 @@ func TestEphemeralLockHandoffOnUnplug(t *testing.T) {
 	// Standby can now take the lock.
 	var acquired bool
 	standby.client.CreateEphemeral("/lock", []byte("standby"), func(p string, err error) { acquired = err == nil })
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	if !acquired {
 		t.Fatal("standby failed to acquire after release")
 	}
@@ -215,20 +212,20 @@ func TestSessionExpiryTimeBounded(t *testing.T) {
 	e.startClient(t, watcher)
 
 	victim.client.CreateEphemeral("/victim-eph", nil, func(string, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	watcher.client.Exists("/victim-eph", true, func(bool, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 
-	start := e.world.Now()
-	e.net.Node("victim").Crash()
+	start := e.sp.World.Now()
+	e.sp.Net.Node("victim").Crash()
 
 	// Watch for the deletion event.
 	var expiredAt sim.Time
 	for i := 0; i < 200 && expiredAt == 0; i++ {
-		e.world.RunFor(100 * sim.Millisecond)
+		e.sp.World.RunFor(100 * sim.Millisecond)
 		for _, ev := range watcher.events {
 			if ev.Type == EventDeleted {
-				expiredAt = e.world.Now()
+				expiredAt = e.sp.World.Now()
 			}
 		}
 	}
@@ -251,13 +248,13 @@ func TestClientLearnsOwnExpiry(t *testing.T) {
 	h := e.newHost(t, "flaky", ClientConfig{SessionTimeout: 5 * sim.Second, HeartbeatEvery: 2 * sim.Second})
 	e.startClient(t, h)
 	h.client.CreateEphemeral("/flaky-eph", nil, func(string, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 
 	// Cable out long enough to expire, then back in.
-	e.net.Node("flaky").Unplug()
-	e.world.RunFor(10 * sim.Second)
-	e.net.Node("flaky").Replug()
-	e.world.RunFor(5 * sim.Second)
+	e.sp.Net.Node("flaky").Unplug()
+	e.sp.World.RunFor(10 * sim.Second)
+	e.sp.Net.Node("flaky").Replug()
+	e.sp.World.RunFor(5 * sim.Second)
 
 	if !h.client.Expired() {
 		t.Fatal("client did not learn its session expired")
@@ -275,13 +272,13 @@ func TestClientLearnsOwnExpiry(t *testing.T) {
 	// Restart gives a fresh, working session.
 	var restarted bool
 	h.client.Restart(func(err error) { restarted = err == nil })
-	e.world.RunFor(5 * sim.Second)
+	e.sp.World.RunFor(5 * sim.Second)
 	if !restarted || h.client.Session() == 0 {
 		t.Fatal("restart failed")
 	}
 	var created bool
 	h.client.CreateEphemeral("/flaky-eph2", nil, func(p string, err error) { created = err == nil })
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if !created {
 		t.Fatal("post-restart create failed")
 	}
@@ -300,22 +297,22 @@ func TestEnsembleLeaderFailover(t *testing.T) {
 
 	// Service must come back: keep trying a write until it succeeds.
 	var okAt sim.Time
-	deadline := e.world.Now() + 30*sim.Second
+	deadline := e.sp.World.Now() + 30*sim.Second
 	var tryCreate func(i int)
 	tryCreate = func(i int) {
 		h.client.Create(pathN(i), nil, func(p string, err error) {
 			if err == nil && okAt == 0 {
-				okAt = e.world.Now()
+				okAt = e.sp.World.Now()
 				return
 			}
-			if e.world.Now() < deadline && okAt == 0 {
+			if e.sp.World.Now() < deadline && okAt == 0 {
 				tryCreate(i + 1)
 			}
 		})
 	}
-	start := e.world.Now()
-	e.world.Defer("probe", func() { tryCreate(0) })
-	e.world.RunFor(35 * sim.Second)
+	start := e.sp.World.Now()
+	e.sp.World.Defer("probe", func() { tryCreate(0) })
+	e.sp.World.RunFor(35 * sim.Second)
 	if okAt == 0 {
 		t.Fatal("ensemble never recovered from leader crash")
 	}
@@ -344,7 +341,7 @@ func TestSequentialCreateViaClient(t *testing.T) {
 			paths = append(paths, p)
 		})
 	}
-	e.world.RunFor(3 * sim.Second)
+	e.sp.World.RunFor(3 * sim.Second)
 	if len(paths) != 3 {
 		t.Fatalf("paths = %v", paths)
 	}
@@ -362,14 +359,14 @@ func TestChildrenViaClient(t *testing.T) {
 	h := e.newHost(t, "cli", ClientConfig{})
 	e.startClient(t, h)
 	h.client.Create("/g", nil, func(string, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	for _, k := range []string{"/g/n2", "/g/n1"} {
 		h.client.Create(k, nil, func(string, error) {})
 	}
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	var kids []string
 	h.client.Children("/g", false, func(c []string, err error) { kids = c })
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	if len(kids) != 2 || kids[0] != "/g/n1" {
 		t.Fatalf("kids = %v", kids)
 	}
@@ -382,12 +379,12 @@ func TestCloseReleasesEphemeralsImmediately(t *testing.T) {
 	e.startClient(t, a)
 	e.startClient(t, b)
 	a.client.CreateEphemeral("/e", nil, func(string, error) {})
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	a.client.Close(nil)
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	var exists bool
 	b.client.Exists("/e", false, func(ex bool, err error) { exists = ex })
-	e.world.RunFor(sim.Second)
+	e.sp.World.RunFor(sim.Second)
 	if exists {
 		t.Fatal("ephemeral survived graceful close")
 	}
@@ -397,7 +394,7 @@ func TestRetriedRequestAppliesOnce(t *testing.T) {
 	// Message loss forces client retries; sequential creates must still
 	// produce exactly one node per logical request.
 	e := newEnv(t, 3, 10)
-	e.net.SetLoss(0.2)
+	e.sp.Net.SetLoss(0.2)
 	// Long session timeout: heartbeats are also lossy and must not expire
 	// the session mid-test.
 	h := e.newHost(t, "cli", ClientConfig{
@@ -415,14 +412,14 @@ func TestRetriedRequestAppliesOnce(t *testing.T) {
 			done++
 		})
 	}
-	e.world.RunFor(60 * sim.Second)
+	e.sp.World.RunFor(60 * sim.Second)
 	if done != 5 {
 		t.Fatalf("completed %d/5", done)
 	}
-	e.net.SetLoss(0)
+	e.sp.Net.SetLoss(0)
 	var kids []string
 	h.client.Children("/", false, func(c []string, err error) { kids = c })
-	e.world.RunFor(5 * sim.Second)
+	e.sp.World.RunFor(5 * sim.Second)
 	items := 0
 	for _, k := range kids {
 		if len(k) > 6 && k[:6] == "/item-" {
@@ -440,7 +437,7 @@ func TestSingleServerEnsembleWorks(t *testing.T) {
 	e.startClient(t, h)
 	var ok bool
 	h.client.Create("/solo", nil, func(p string, err error) { ok = err == nil })
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	if !ok {
 		t.Fatal("single-member ensemble failed")
 	}

@@ -3,25 +3,25 @@ package coord
 import (
 	"fmt"
 
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/trace"
 )
 
 // Ensemble bundles a started coordination service.
 type Ensemble struct {
 	Servers []*Server
-	IDs     []simnet.NodeID
+	IDs     []transport.NodeID
 }
 
 // StartEnsemble creates and starts n coordination servers named
 // coord0..coord{n-1}. The first member bootstraps leadership.
-func StartEnsemble(net *simnet.Network, n int, log *trace.Log) *Ensemble {
+func StartEnsemble(net transport.Transport, n int, log *trace.Log) *Ensemble {
 	if n <= 0 {
 		panic("coord: ensemble size must be positive")
 	}
-	ids := make([]simnet.NodeID, n)
+	ids := make([]transport.NodeID, n)
 	for i := range ids {
-		ids[i] = simnet.NodeID(fmt.Sprintf("coord%d", i))
+		ids[i] = transport.NodeID(fmt.Sprintf("coord%d", i))
 	}
 	e := &Ensemble{IDs: ids}
 	for i, id := range ids {

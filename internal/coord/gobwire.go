@@ -1,0 +1,17 @@
+package coord
+
+import "encoding/gob"
+
+// Wire-type registration for the real transport's gob framing (see
+// internal/mams/gobwire.go). *Op is the value replicated through paxos —
+// proposed as a pointer, so the pointer type is what lands in the
+// interface-typed paxos fields.
+func init() {
+	gob.Register(clientRequest{})
+	gob.Register(clientResponse{})
+	gob.Register(pingRequest{})
+	gob.Register(announce{})
+	gob.Register(poisonRequest{})
+	gob.Register(WatchEvent{})
+	gob.Register(&Op{})
+}

@@ -7,7 +7,7 @@ import (
 	"mams/internal/obs"
 	"mams/internal/paxos"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/trace"
 )
 
@@ -19,7 +19,7 @@ type clientRequest struct {
 type clientResponse struct {
 	Res       Result
 	NotLeader bool
-	Redirect  simnet.NodeID // best-known leader, may be empty
+	Redirect  transport.NodeID // best-known leader, may be empty
 }
 
 type pingRequest struct {
@@ -27,7 +27,7 @@ type pingRequest struct {
 }
 
 type announce struct {
-	Leader simnet.NodeID
+	Leader transport.NodeID
 }
 
 // poisonRequest force-invalidates every session owned by a client node: the
@@ -36,13 +36,13 @@ type announce struct {
 // the paper's Test A ("modifying the global view to make the active lose
 // the lock").
 type poisonRequest struct {
-	Node simnet.NodeID
+	Node transport.NodeID
 }
 
 // ServerConfig configures one ensemble member.
 type ServerConfig struct {
-	ID       simnet.NodeID
-	Ensemble []simnet.NodeID // all members, including ID
+	ID       transport.NodeID
+	Ensemble []transport.NodeID // all members, including ID
 	// Bootstrap makes this member seek leadership immediately at start
 	// (typically the first member).
 	Bootstrap bool
@@ -73,7 +73,7 @@ func (c *ServerConfig) defaults() {
 // znode state machine, session failure detection and watch delivery.
 type Server struct {
 	cfg     ServerConfig
-	node    *simnet.Node
+	node    transport.Node
 	replica *paxos.Replica
 	sm      *stateMachine
 	log     *trace.Log
@@ -81,7 +81,7 @@ type Server struct {
 	pending     map[uint64]func(any) // ReqID → RPC reply
 	lastHeard   map[uint64]sim.Time
 	poisoned    map[uint64]bool
-	leaderGuess simnet.NodeID
+	leaderGuess transport.NodeID
 	wasLeading  bool
 	lastLeadMsg sim.Time
 	internalSeq uint64
@@ -96,7 +96,7 @@ type Server struct {
 
 // NewServer creates an ensemble member and registers it on the network.
 // Call Start to begin ticking.
-func NewServer(net *simnet.Network, cfg ServerConfig, log *trace.Log) *Server {
+func NewServer(net transport.Transport, cfg ServerConfig, log *trace.Log) *Server {
 	cfg.defaults()
 	s := &Server{
 		cfg:       cfg,
@@ -109,7 +109,7 @@ func NewServer(net *simnet.Network, cfg ServerConfig, log *trace.Log) *Server {
 	h := fnv.New64a()
 	h.Write([]byte(cfg.ID))
 	s.idHash = h.Sum64()
-	s.node = net.AddNode(cfg.ID, s)
+	s.node = net.Listen(cfg.ID, s)
 	reg, me := net.Obs(), string(cfg.ID)
 	s.obsWatchFires = reg.Counter("mams_coord_watch_fires_total",
 		"Watch notifications delivered by this ensemble member while leading.", "node", me)
@@ -123,13 +123,13 @@ func NewServer(net *simnet.Network, cfg ServerConfig, log *trace.Log) *Server {
 	for i, p := range cfg.Ensemble {
 		peers[i] = string(p)
 	}
-	transport := func(to string, m paxos.Msg) { s.node.Send(simnet.NodeID(to), m) }
-	s.replica = paxos.New(paxos.Config{Self: string(cfg.ID), Peers: peers}, transport, s.onApply)
+	send := func(to string, m paxos.Msg) { s.node.Send(transport.NodeID(to), m) }
+	s.replica = paxos.New(paxos.Config{Self: string(cfg.ID), Peers: peers}, send, s.onApply)
 	return s
 }
 
 // Node exposes the underlying simulated process (for fault injection).
-func (s *Server) Node() *simnet.Node { return s.node }
+func (s *Server) Node() transport.Node { return s.node }
 
 // Leading reports whether this member currently leads the ensemble.
 func (s *Server) Leading() bool { return s.replica.Leading() }
@@ -140,7 +140,7 @@ func (s *Server) Start() {
 	if s.cfg.Bootstrap {
 		s.node.After(0, "coord-bootstrap", func() { s.replica.TryLead() })
 	}
-	s.lastLeadMsg = s.node.World().Now()
+	s.lastLeadMsg = s.node.Now()
 	s.armTick()
 	s.armSessionCheck()
 }
@@ -161,7 +161,7 @@ func (s *Server) armSessionCheck() {
 
 func (s *Server) tick() {
 	s.replica.Tick()
-	now := s.node.World().Now()
+	now := s.node.Now()
 	if s.replica.Leading() {
 		if !s.wasLeading {
 			// Fresh leader: give every session a full grace period and
@@ -202,7 +202,7 @@ func (s *Server) checkSessions() {
 	if !s.replica.Leading() {
 		return
 	}
-	now := s.node.World().Now()
+	now := s.node.Now()
 	for id, sess := range s.sm.sessions {
 		last, ok := s.lastHeard[id]
 		if !ok {
@@ -273,19 +273,19 @@ func (s *Server) countLockTransition(op *Op, res *Result, fired []firedWatch) {
 	}
 }
 
-// HandleMessage implements simnet.Handler: paxos traffic and announces.
-func (s *Server) HandleMessage(from simnet.NodeID, msg any) {
+// HandleMessage implements transport.Handler: paxos traffic and announces.
+func (s *Server) HandleMessage(from transport.NodeID, msg any) {
 	switch m := msg.(type) {
 	case paxos.Msg:
 		s.replica.Deliver(string(from), m)
 	case announce:
 		s.leaderGuess = m.Leader
-		s.lastLeadMsg = s.node.World().Now()
+		s.lastLeadMsg = s.node.Now()
 	}
 }
 
-// HandleRequest implements simnet.RequestHandler: client RPCs.
-func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+// HandleRequest implements transport.RequestHandler: client RPCs.
+func (s *Server) HandleRequest(from transport.NodeID, req any, reply func(any)) {
 	switch m := req.(type) {
 	case pingRequest:
 		if !s.replica.Leading() {
@@ -296,7 +296,7 @@ func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 			reply(clientResponse{Res: Result{Err: encodeErr(ErrSessionExpired)}})
 			return
 		}
-		s.lastHeard[m.Session] = s.node.World().Now()
+		s.lastHeard[m.Session] = s.node.Now()
 		reply(clientResponse{})
 	case poisonRequest:
 		if !s.replica.Leading() {
@@ -326,7 +326,7 @@ func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 					return
 				}
 			} else {
-				s.lastHeard[op.Session] = s.node.World().Now()
+				s.lastHeard[op.Session] = s.node.Now()
 			}
 		}
 		if cached, dup := s.sm.applied[op.ReqID]; dup {

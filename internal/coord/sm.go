@@ -16,7 +16,7 @@ import (
 	"sort"
 	"strings"
 
-	"mams/internal/simnet"
+	"mams/internal/transport"
 )
 
 // Service errors. They cross the simulated wire as error codes and are
@@ -123,7 +123,7 @@ type Op struct {
 	Watch      bool  // register a one-shot watch (reads) / child watch (children)
 
 	// CreateSession fields.
-	ClientNode simnet.NodeID
+	ClientNode transport.NodeID
 	TimeoutNs  int64
 }
 
@@ -160,7 +160,7 @@ type znode struct {
 
 type sessionState struct {
 	id         uint64
-	clientNode simnet.NodeID
+	clientNode transport.NodeID
 	timeoutNs  int64
 	ephemerals map[string]bool
 }
@@ -168,7 +168,7 @@ type sessionState struct {
 // firedWatch pairs a watch event with the client that must receive it.
 type firedWatch struct {
 	session uint64
-	client  simnet.NodeID
+	client  transport.NodeID
 	event   WatchEvent
 }
 

@@ -17,9 +17,9 @@ func TestThreeWatchersOnAbsentNode(t *testing.T) {
 	for _, h := range hosts[:3] {
 		h.client.GetData("/target", true, func([]byte, int64, error) {})
 	}
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	hosts[3].client.Create("/target", nil, func(string, error) {})
-	e.world.RunFor(2 * sim.Second)
+	e.sp.World.RunFor(2 * sim.Second)
 	for i, h := range hosts[:3] {
 		if len(h.events) != 1 {
 			t.Errorf("watcher %d got %d events: %+v", i, len(h.events), h.events)

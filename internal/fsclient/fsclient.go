@@ -14,7 +14,7 @@ import (
 	"mams/internal/namespace"
 	"mams/internal/partition"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 )
 
 // ErrUnavailable reports that every attempt failed within the retry budget.
@@ -40,8 +40,8 @@ type Result struct {
 
 // Config assembles a client.
 type Config struct {
-	ID          simnet.NodeID
-	Groups      [][]simnet.NodeID // replica-group members by group index
+	ID          transport.NodeID
+	Groups      [][]transport.NodeID // replica-group members by group index
 	Partitioner *partition.Partitioner
 	// RequestTimeout bounds one RPC attempt (default 1 s, mirroring an
 	// HDFS-era IPC timeout).
@@ -71,8 +71,8 @@ func (c *Config) defaults() {
 // metadata service.
 type Client struct {
 	cfg     Config
-	node    *simnet.Node
-	actives []simnet.NodeID // cached active per group ("" = unknown)
+	node    transport.Node
+	actives []transport.NodeID // cached active per group ("" = unknown)
 	nextReq uint64
 	idSalt  uint64
 	probe   []int // round-robin cursor per group for WhoIsActive
@@ -82,18 +82,18 @@ type Client struct {
 }
 
 // New registers the client process on the network.
-func New(net *simnet.Network, cfg Config) *Client {
+func New(net transport.Transport, cfg Config) *Client {
 	cfg.defaults()
 	// The client owns its shard-map cache: StaleMap adoptions must not leak
 	// into the shared seed partitioner or into sibling clients.
 	if cfg.Partitioner != nil {
 		cfg.Partitioner = cfg.Partitioner.Clone()
 	}
-	c := &Client{cfg: cfg, actives: make([]simnet.NodeID, len(cfg.Groups)), probe: make([]int, len(cfg.Groups))}
+	c := &Client{cfg: cfg, actives: make([]transport.NodeID, len(cfg.Groups)), probe: make([]int, len(cfg.Groups))}
 	for _, ch := range cfg.ID {
 		c.idSalt = c.idSalt*131 + uint64(ch)
 	}
-	c.node = net.AddNode(cfg.ID, c)
+	c.node = net.Listen(cfg.ID, c)
 	return c
 }
 
@@ -109,10 +109,10 @@ func (c *Client) MapEpoch() uint64 {
 func (c *Client) MapRefreshes() uint64 { return c.mapRefreshes }
 
 // Node exposes the client's simulated process.
-func (c *Client) Node() *simnet.Node { return c.node }
+func (c *Client) Node() transport.Node { return c.node }
 
-// HandleMessage implements simnet.Handler (clients only use RPCs).
-func (c *Client) HandleMessage(from simnet.NodeID, msg any) {}
+// HandleMessage implements transport.Handler (clients only use RPCs).
+func (c *Client) HandleMessage(from transport.NodeID, msg any) {}
 
 func (c *Client) reqID() uint64 {
 	c.nextReq++
@@ -220,7 +220,7 @@ func (c *Client) List(path string, cb func(infos []namespace.Info, err error)) {
 	for g := 0; g < groups; g++ {
 		g := g
 		op := mams.ClientOp{ReqID: c.reqID(), Kind: mams.OpList, Path: path}
-		start := c.node.World().Now()
+		start := c.node.Now()
 		c.attempt(op, g, 0, start, func(rep mams.OpReply, err error) {
 			parts[g] = part{infos: rep.Infos, err: err}
 			finish()
@@ -231,7 +231,7 @@ func (c *Client) List(path string, cb func(infos []namespace.Info, err error)) {
 // do runs one logical operation with transparent reconnection.
 func (c *Client) do(op mams.ClientOp, cb func(mams.OpReply, error)) {
 	group := c.groupFor(op)
-	start := c.node.World().Now()
+	start := c.node.Now()
 	c.attempt(op, group, 0, start, cb)
 }
 
@@ -239,7 +239,7 @@ func (c *Client) finish(op mams.ClientOp, start sim.Time, retries int, rep mams.
 	if c.cfg.OnResult != nil {
 		c.cfg.OnResult(Result{
 			Kind: op.Kind, Path: op.Path, Start: start,
-			End: c.node.World().Now(), Err: err, Retries: retries,
+			End: c.node.Now(), Err: err, Retries: retries,
 			SN: rep.SN, Epoch: rep.Epoch, DurableSN: rep.DurableSN,
 		})
 	}
@@ -253,7 +253,7 @@ func (c *Client) attempt(op mams.ClientOp, group, tries int, start sim.Time, cb 
 	}
 	target := c.actives[group]
 	if target == "" {
-		c.resolveActive(group, func(active simnet.NodeID) {
+		c.resolveActive(group, func(active transport.NodeID) {
 			if active == "" {
 				c.backoffRetry(op, group, tries, start, cb)
 				return
@@ -351,7 +351,7 @@ func (c *Client) backoffRetry(op mams.ClientOp, group, tries int, start sim.Time
 }
 
 // resolveActive asks group members who the active is (round-robin).
-func (c *Client) resolveActive(group int, cb func(simnet.NodeID)) {
+func (c *Client) resolveActive(group int, cb func(transport.NodeID)) {
 	members := c.cfg.Groups[group]
 	if len(members) == 0 {
 		cb("")

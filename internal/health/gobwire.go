@@ -1,0 +1,10 @@
+package health
+
+import "encoding/gob"
+
+// Wire-type registration for the real transport's gob framing (see
+// internal/mams/gobwire.go).
+func init() {
+	gob.Register(ProbeReq{})
+	gob.Register(ProbeResp{})
+}

@@ -1,7 +1,7 @@
 package mams
 
 import (
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/ssp"
 )
 
@@ -23,7 +23,7 @@ func (s *Server) BreakSSPForTest() {
 // RestoreSSPForTest reinstalls the real pool client after BreakSSPForTest.
 func (s *Server) RestoreSSPForTest() {
 	s.sspc = ssp.NewClient(s.node, s.cfg.PoolNodes, s.pool, s.cfg.Params.SSPReplicas)
-	s.sspc.SetAvoid(func(id simnet.NodeID) bool {
+	s.sspc.SetAvoid(func(id transport.NodeID) bool {
 		r, ok := s.view.States[string(id)]
 		return ok && r == RoleDown
 	})

@@ -60,7 +60,7 @@ func (s *Server) maybeElect() {
 	if s.role != RoleStandby && s.role != RoleJunior {
 		return
 	}
-	s.electing = s.node.World().Now()
+	s.electing = s.node.Now()
 	s.emit(trace.KindElection, "election-start", "role", s.role.String())
 	s.obsElectStarted.Inc()
 	me := string(s.cfg.ID)
@@ -115,7 +115,7 @@ func (s *Server) tryAcquireLock() {
 			return
 		}
 		s.emit(trace.KindElection, "election-won", "waited",
-			fmt.Sprint((s.node.World().Now() - s.electing).Milliseconds()))
+			fmt.Sprint((s.node.Now() - s.electing).Milliseconds()))
 		s.obsElectWon.Inc()
 		s.spans.End(s.electionSpan, "outcome", "won")
 		s.electionSpan = 0

@@ -1,0 +1,36 @@
+package mams
+
+import "encoding/gob"
+
+// The real transport (internal/nettrans) frames messages with gob, whose
+// `any` payload field needs every concrete wire type registered. The sim
+// plane never serializes, so registration is behavior-free there.
+func init() {
+	gob.Register(ClientOp{})
+	gob.Register(OpReply{})
+	gob.Register(AppendBatch{})
+	gob.Register(AppendAck{})
+	gob.Register(CommitNotice{})
+	gob.Register(Register{})
+	gob.Register(RegisterAck{})
+	gob.Register(RenewStart{})
+	gob.Register(RenewJournalReq{})
+	gob.Register(RenewJournalResp{})
+	gob.Register(RenewProgress{})
+	gob.Register(Promote{})
+	gob.Register(Demote{})
+	gob.Register(TxnPrepare{})
+	gob.Register(TxnVote{})
+	gob.Register(TxnAbort{})
+	gob.Register(WhoIsActive{})
+	gob.Register(ActiveIs{})
+	gob.Register(MigrateFreeze{})
+	gob.Register(MigrateFreezeAck{})
+	gob.Register(MigrateRead{})
+	gob.Register(MigrateEntries{})
+	gob.Register(MigratePurge{})
+	gob.Register(MigrateIngest{})
+	gob.Register(MigrateAck{})
+	gob.Register(LoadReport{})
+	gob.Register(LoadStats{})
+}

@@ -9,7 +9,7 @@ import (
 	"mams/internal/mams"
 	"mams/internal/namespace"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/trace"
 )
 
@@ -474,17 +474,17 @@ func TestDynamicStandbyAddition(t *testing.T) {
 
 // coordHost gives tests an out-of-band coordination client.
 type coordHost struct {
-	node   *simnet.Node
+	node   transport.Node
 	client *coord.Client
 }
 
-func (h *coordHost) HandleMessage(from simnet.NodeID, msg any) {
+func (h *coordHost) HandleMessage(from transport.NodeID, msg any) {
 	h.client.MaybeHandle(from, msg)
 }
 
 func newCoordHost(env *cluster.Env, c *cluster.MAMSCluster) *coordHost {
 	h := &coordHost{}
-	h.node = env.Net.AddNode("test-breaker", h)
+	h.node = env.Net.Listen("test-breaker", h)
 	h.client = coord.NewClient(h.node, coord.ClientConfig{Servers: c.Coord.IDs}, nil)
 	started := false
 	env.World.Defer("breaker-start", func() {

@@ -4,7 +4,7 @@ import (
 	"mams/internal/journal"
 	"mams/internal/namespace"
 	"mams/internal/partition"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 )
 
 // OpKind is a client-visible metadata operation.
@@ -64,7 +64,7 @@ type ClientOp struct {
 type OpReply struct {
 	Err       string
 	NotActive bool          // receiver is not the active for this group
-	Hint      simnet.NodeID // best guess at the real active (may be empty)
+	Hint      transport.NodeID // best guess at the real active (may be empty)
 	Info      *namespace.Info
 	Infos     []namespace.Info
 
@@ -96,7 +96,7 @@ type OpReply struct {
 // it (normally sn-1). FlushOnly batches are the failover protocol's step-4
 // re-flush — receivers deduplicate them by sn.
 type AppendBatch struct {
-	From          simnet.NodeID
+	From          transport.NodeID
 	Epoch         uint64
 	Batch         journal.Batch
 	CommitThrough uint64
@@ -105,7 +105,7 @@ type AppendBatch struct {
 
 // AppendAck answers AppendBatch.
 type AppendAck struct {
-	From   simnet.NodeID
+	From   transport.NodeID
 	SN     uint64
 	OK     bool // false: receiver has a gap and must be demoted to junior
 	LastSN uint64
@@ -114,7 +114,7 @@ type AppendAck struct {
 // Register is sent by every group member to a freshly upgraded active
 // (Fig. 4 step 5); the active compares LastSN to assign standby or junior.
 type Register struct {
-	From   simnet.NodeID
+	From   transport.NodeID
 	LastSN uint64
 }
 
@@ -126,7 +126,7 @@ type RegisterAck struct {
 
 // RenewStart begins the renewing protocol on a junior (§III.D).
 type RenewStart struct {
-	From     simnet.NodeID
+	From     transport.NodeID
 	Epoch    uint64
 	ActiveSN uint64
 	// Latest checkpoint image available in the SSP (zero ImageSN = none).
@@ -137,7 +137,7 @@ type RenewStart struct {
 // RenewJournalReq asks the active for journal batches after FromSN (used
 // when the SSP lacks them, or for the final synchronization stage).
 type RenewJournalReq struct {
-	From   simnet.NodeID
+	From   transport.NodeID
 	FromSN uint64
 	Max    int
 }
@@ -155,7 +155,7 @@ type RenewJournalResp struct {
 
 // RenewProgress reports the junior's replay position to the active.
 type RenewProgress struct {
-	From simnet.NodeID
+	From transport.NodeID
 	SN   uint64
 }
 
@@ -179,14 +179,14 @@ type Demote struct {
 // undo records if any participant refuses.
 type TxnPrepare struct {
 	TxnID   uint64
-	From    simnet.NodeID
+	From    transport.NodeID
 	Records []journal.Record
 }
 
 // TxnVote answers TxnPrepare.
 type TxnVote struct {
 	TxnID uint64
-	From  simnet.NodeID
+	From  transport.NodeID
 	OK    bool
 	Err   string
 }

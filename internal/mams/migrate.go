@@ -45,7 +45,7 @@ import (
 	"mams/internal/obs"
 	"mams/internal/partition"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/trace"
 )
 
@@ -414,7 +414,7 @@ func (s *Server) purgeForeignFiles() {
 	if len(doomed) == 0 {
 		return
 	}
-	now := int64(s.node.World().Now())
+	now := int64(s.node.Now())
 	for _, path := range doomed {
 		rec := journal.Record{Op: journal.OpDelete, Path: path, MTime: now}
 		if err := validateRecord(s.tree, rec); err != nil {
@@ -506,7 +506,7 @@ func (s *Server) onMigratePurge(m MigratePurge, reply func(any)) {
 		}
 		return true
 	})
-	now := int64(s.node.World().Now())
+	now := int64(s.node.Now())
 	applied := 0
 	for _, path := range doomed {
 		rec := journal.Record{Op: journal.OpDelete, Path: path, MTime: now}
@@ -599,9 +599,9 @@ func (s *Server) ShardPartitioner() *partition.Partitioner { return s.cfg.Partit
 
 // MigratorConfig assembles the migration coordinator.
 type MigratorConfig struct {
-	ID           simnet.NodeID
-	CoordServers []simnet.NodeID
-	AllGroups    [][]simnet.NodeID
+	ID           transport.NodeID
+	CoordServers []transport.NodeID
+	AllGroups    [][]transport.NodeID
 	// Partitioner seeds the coordinator's view of the map shape (cloned).
 	Partitioner *partition.Partitioner
 }
@@ -653,7 +653,7 @@ func (c *BalancerConfig) defaults() {
 // operator), so it survives any metadata-server failover and can resume a
 // half-done migration from the durable record alone.
 type Migrator struct {
-	node *simnet.Node
+	node transport.Node
 	cli  *coord.Client
 	cfg  MigratorConfig
 	tr   *trace.Log
@@ -671,12 +671,12 @@ type Migrator struct {
 }
 
 // NewMigrator registers the coordinator process on the network.
-func NewMigrator(net *simnet.Network, cfg MigratorConfig, tr *trace.Log) *Migrator {
+func NewMigrator(net transport.Transport, cfg MigratorConfig, tr *trace.Log) *Migrator {
 	if cfg.Partitioner != nil {
 		cfg.Partitioner = cfg.Partitioner.Clone()
 	}
 	mg := &Migrator{cfg: cfg, tr: tr, lastMove: map[int]int{}}
-	mg.node = net.AddNode(cfg.ID, mg)
+	mg.node = net.Listen(cfg.ID, mg)
 	mg.cli = coord.NewClient(mg.node, coord.ClientConfig{Servers: cfg.CoordServers}, nil)
 	reg, me := net.Obs(), string(cfg.ID)
 	mg.obsMigrations = reg.Counter("mams_shard_migrations_total",
@@ -689,13 +689,13 @@ func NewMigrator(net *simnet.Network, cfg MigratorConfig, tr *trace.Log) *Migrat
 	return mg
 }
 
-// HandleMessage implements simnet.Handler.
-func (mg *Migrator) HandleMessage(from simnet.NodeID, msg any) {
+// HandleMessage implements transport.Handler.
+func (mg *Migrator) HandleMessage(from transport.NodeID, msg any) {
 	mg.cli.MaybeHandle(from, msg)
 }
 
 // Node exposes the coordinator's process.
-func (mg *Migrator) Node() *simnet.Node { return mg.node }
+func (mg *Migrator) Node() transport.Node { return mg.node }
 
 // Stats returns the running totals.
 func (mg *Migrator) Stats() MigratorStats { return mg.stats }
@@ -749,7 +749,7 @@ func (mg *Migrator) readState(cb func(m *partition.Map, rec *MigrationRec, ver i
 }
 
 // resolveGroupActive finds a group's active via WhoIsActive round-robin.
-func (mg *Migrator) resolveGroupActive(group, attempt int, cb func(simnet.NodeID)) {
+func (mg *Migrator) resolveGroupActive(group, attempt int, cb func(transport.NodeID)) {
 	if group < 0 || group >= len(mg.cfg.AllGroups) || len(mg.cfg.AllGroups[group]) == 0 {
 		cb("")
 		return
@@ -785,7 +785,7 @@ func (mg *Migrator) callActive(group int, req any, attempt int, pred func(resp a
 			mg.callActive(group, req, attempt+1, pred, cb)
 		})
 	}
-	mg.resolveGroupActive(group, attempt, func(active simnet.NodeID) {
+	mg.resolveGroupActive(group, attempt, func(active transport.NodeID) {
 		if active == "" {
 			again()
 			return
@@ -832,7 +832,7 @@ func (mg *Migrator) MoveSlot(slot, to int, cb func(MoveStats, error)) {
 				done(MoveStats{}, fmt.Errorf("mams: migration of slot %d already pending", rec.Slot))
 				return
 			}
-			mg.runMigration(rec, mg.node.World().Now(), done)
+			mg.runMigration(rec, mg.node.Now(), done)
 			return
 		}
 		from := m.Group(slot)
@@ -852,7 +852,7 @@ func (mg *Migrator) MoveSlot(slot, to int, cb func(MoveStats, error)) {
 				done(MoveStats{}, serr)
 				return
 			}
-			mg.runMigration(nrec, mg.node.World().Now(), done)
+			mg.runMigration(nrec, mg.node.Now(), done)
 		})
 	})
 }
@@ -872,7 +872,7 @@ func (mg *Migrator) ResumePending(cb func(resumed bool, st MoveStats, err error)
 			cb(false, MoveStats{}, err)
 			return
 		}
-		mg.runMigration(rec, mg.node.World().Now(), func(st MoveStats, err error) {
+		mg.runMigration(rec, mg.node.Now(), func(st MoveStats, err error) {
 			mg.busy = false
 			cb(true, st, err)
 		})
@@ -1021,7 +1021,7 @@ func (mg *Migrator) flipPhase(rec *MigrationRec, st MoveStats, freezeStart sim.T
 }
 
 func (mg *Migrator) finishMove(st MoveStats, freezeStart sim.Time, done func(MoveStats, error)) {
-	st.Pause = mg.node.World().Now() - freezeStart
+	st.Pause = mg.node.Now() - freezeStart
 	mg.stats.Migrations++
 	mg.stats.MovedEntries += st.Entries
 	mg.stats.TotalPause += st.Pause
@@ -1090,7 +1090,7 @@ func (mg *Migrator) balanceOnce(cfg BalancerConfig, next func()) {
 	}
 	for g := 0; g < groups; g++ {
 		g := g
-		mg.resolveGroupActive(g, 0, func(active simnet.NodeID) {
+		mg.resolveGroupActive(g, 0, func(active transport.NodeID) {
 			if active == "" {
 				finish()
 				return

@@ -5,7 +5,7 @@ import (
 
 	"mams/internal/namespace"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/ssp"
 	"mams/internal/trace"
 )
@@ -65,7 +65,7 @@ func (s *Server) scanJuniors() {
 		if j == string(s.cfg.ID) {
 			continue
 		}
-		sn := s.renewLastSeen[simnet.NodeID(j)]
+		sn := s.renewLastSeen[transport.NodeID(j)]
 		if best == "" || sn > bestSN {
 			best, bestSN = j, sn
 		}
@@ -73,7 +73,7 @@ func (s *Server) scanJuniors() {
 	if best == "" {
 		return
 	}
-	s.renewSession = simnet.NodeID(best)
+	s.renewSession = transport.NodeID(best)
 	s.emit(trace.KindRenew, "renew-start", "junior", best, "sn", fmt.Sprint(bestSN))
 	s.node.Send(s.renewSession, RenewStart{
 		From: s.cfg.ID, Epoch: s.view.Epoch, ActiveSN: s.committedSN,

@@ -12,7 +12,7 @@ import (
 	"mams/internal/obs"
 	"mams/internal/partition"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/ssp"
 	"mams/internal/trace"
 )
@@ -24,28 +24,28 @@ type WhoIsActive struct{}
 
 // ActiveIs answers WhoIsActive.
 type ActiveIs struct {
-	Active simnet.NodeID
+	Active transport.NodeID
 	Epoch  uint64
 }
 
 // Config assembles one metadata server.
 type Config struct {
-	ID         simnet.NodeID
+	ID         transport.NodeID
 	Group      string // replica group name, e.g. "g0"
 	GroupIndex int
-	Members    []simnet.NodeID // this group's members, including ID
+	Members    []transport.NodeID // this group's members, including ID
 	// AllGroups lists every group's members by group index, for
 	// cross-group transaction routing.
-	AllGroups [][]simnet.NodeID
+	AllGroups [][]transport.NodeID
 	// InitialRole is RoleActive or RoleStandby at bootstrap, RoleJunior
 	// for servers joining (or rejoining) a running group.
 	InitialRole Role
 
-	CoordServers        []simnet.NodeID
+	CoordServers        []transport.NodeID
 	CoordSessionTimeout sim.Time
 	CoordHeartbeat      sim.Time
 
-	PoolNodes []simnet.NodeID
+	PoolNodes []transport.NodeID
 
 	Partitioner *partition.Partitioner
 	Params      Params
@@ -61,8 +61,8 @@ func alivePath(group, id string) string { return aliveDir(group) + "/" + id }
 // replState tracks one in-flight replicated batch on the active.
 type replState struct {
 	batch      journal.Batch
-	needed     map[simnet.NodeID]bool
-	timer      *sim.Timer
+	needed     map[transport.NodeID]bool
+	timer      transport.Timer
 	sealedAt   sim.Time // seal instant, for the seal-to-commit histogram
 	sspPending bool     // SyncSSP mode: pool write not yet durable
 	// span covers this batch's replication round from seal to commit (or
@@ -88,11 +88,11 @@ type replState struct {
 // watermark catches up to the commit watermark (see fenceLaggard).
 type heldFence struct {
 	rs *replState
-	id simnet.NodeID
+	id transport.NodeID
 }
 
 type queuedOp struct {
-	from  simnet.NodeID
+	from  transport.NodeID
 	op    ClientOp
 	reply func(any)
 }
@@ -100,7 +100,7 @@ type queuedOp struct {
 // Server is one CFS metadata server governed by the MAMS policy.
 type Server struct {
 	cfg  Config
-	node *simnet.Node
+	node transport.Node
 
 	coordCli *coord.Client
 	pool     *ssp.PoolNode
@@ -133,7 +133,7 @@ type Server struct {
 	// sealWaiters fire when their batch seals (AsyncAck replies); waiters
 	// fire when it commits.
 	sealWaiters map[uint64][]func(err error)
-	batchTimer  *sim.Timer
+	batchTimer  transport.Timer
 	batchArmed  bool
 	fenceLoopOn bool
 	// journalBusyUntil is the journal lane under GroupCommit: sequential
@@ -141,7 +141,7 @@ type Server struct {
 	journalBusyUntil sim.Time
 	// replCache memoizes replTargets per adopted view (invalidated on view
 	// changes and renew-target transitions).
-	replCache   []simnet.NodeID
+	replCache   []transport.NodeID
 	replCacheOK bool
 
 	// Standby-side pipeline: prepared (uncommitted) batches in sn order.
@@ -155,11 +155,11 @@ type Server struct {
 	upgradeQueue []queuedOp
 
 	// Renewing.
-	renewTarget   simnet.NodeID // junior currently receiving live batches
-	renewSession  simnet.NodeID // junior currently in a renewing session
-	renewActive   simnet.NodeID // (junior side) the active renewing us
+	renewTarget   transport.NodeID // junior currently receiving live batches
+	renewSession  transport.NodeID // junior currently in a renewing session
+	renewActive   transport.NodeID // (junior side) the active renewing us
 	renewing      bool          // this server (as junior) is renewing
-	renewLastSeen map[simnet.NodeID]uint64
+	renewLastSeen map[transport.NodeID]uint64
 	renewScanOn   bool
 
 	// Distributed transactions.
@@ -220,7 +220,7 @@ type Server struct {
 }
 
 // NewServer builds a server and registers its process on the network.
-func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float64) *Server {
+func NewServer(net transport.Transport, cfg Config, tr *trace.Log, rnd func() float64) *Server {
 	if cfg.Params.BatchEvery == 0 {
 		cfg.Params = DefaultParams()
 	}
@@ -238,13 +238,13 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 		pendingRepl:   map[uint64]*replState{},
 		waiters:       map[uint64][]func(error){},
 		sealWaiters:   map[uint64][]func(error){},
-		renewLastSeen: map[simnet.NodeID]uint64{},
+		renewLastSeen: map[transport.NodeID]uint64{},
 		txnPending:    map[uint64]*txnState{},
 		retryCache:    map[uint64]OpReply{},
 		tr:            tr,
 		rnd:           rnd,
 	}
-	s.node = net.AddNode(cfg.ID, s)
+	s.node = net.Listen(cfg.ID, s)
 	reg, me := net.Obs(), string(cfg.ID)
 	s.spans = net.Tracer()
 	s.obsSealed = reg.Counter("mams_journal_batches_sealed_total",
@@ -284,7 +284,7 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 	// group. Only an explicit RoleDown avoids a member; juniors are live
 	// pool members, and absent entries (bootstrap window) keep the default
 	// full-rotation placement.
-	s.sspc.SetAvoid(func(id simnet.NodeID) bool {
+	s.sspc.SetAvoid(func(id transport.NodeID) bool {
 		r, ok := s.view.States[string(id)]
 		return ok && r == RoleDown
 	})
@@ -298,7 +298,7 @@ func NewServer(net *simnet.Network, cfg Config, tr *trace.Log, rnd func() float6
 }
 
 // Node exposes the simulated process (fault injection).
-func (s *Server) Node() *simnet.Node { return s.node }
+func (s *Server) Node() transport.Node { return s.node }
 
 // Role returns the server's current role.
 func (s *Server) Role() Role { return s.role }
@@ -395,7 +395,7 @@ func (s *Server) Restart() {
 	s.renewSession = ""
 	s.renewActive = ""
 	s.renewing = false
-	s.renewLastSeen = map[simnet.NodeID]uint64{}
+	s.renewLastSeen = map[transport.NodeID]uint64{}
 	s.renewScanOn = false
 	s.txnPending = map[uint64]*txnState{}
 	s.preparedTxns = map[uint64]*preparedTxn{}
@@ -673,11 +673,11 @@ func (s *Server) adoptView(v View, ver int64) {
 		// registration). The renew scan only heals view-juniors, so this
 		// split never converges on its own: re-register and let the active
 		// re-classify us by sn.
-		s.sendRegister(simnet.NodeID(v.Active), 0)
+		s.sendRegister(transport.NodeID(v.Active), 0)
 	}
 	// A new active appeared: every member registers (Fig. 4 step 5).
 	if v.Active != "" && v.Active != prev.Active && v.Active != me && s.role != RoleActive {
-		s.sendRegister(simnet.NodeID(v.Active), 0)
+		s.sendRegister(transport.NodeID(v.Active), 0)
 	}
 	// Keep the lock/liveness watchers armed regardless of how we learned
 	// about this view (the coordination service deduplicates one-shot
@@ -693,7 +693,7 @@ func (s *Server) reconcileRoleWithView() {
 	me := string(s.cfg.ID)
 	if s.role == RoleJunior && !s.renewing &&
 		s.view.States[me] == RoleStandby && s.view.Active != "" && s.view.Active != me {
-		s.sendRegister(simnet.NodeID(s.view.Active), 0)
+		s.sendRegister(transport.NodeID(s.view.Active), 0)
 	}
 }
 
@@ -840,14 +840,14 @@ func (s *Server) stepDown(v View) {
 	// Register with the new active so it can classify us by sn (a reset
 	// node registers sn 0 and is assigned junior).
 	if v.Active != "" {
-		s.sendRegister(simnet.NodeID(v.Active), 0)
+		s.sendRegister(transport.NodeID(v.Active), 0)
 	}
 }
 
 // sendRegister announces this member to the active, retrying until a
 // RegisterAck arrives (the active may still be mid-upgrade when the first
 // attempt lands).
-func (s *Server) sendRegister(to simnet.NodeID, attempt int) {
+func (s *Server) sendRegister(to transport.NodeID, attempt int) {
 	if attempt > 20 || s.stopped || s.role == RoleActive || s.upgrading {
 		return
 	}
@@ -965,8 +965,8 @@ func (s *Server) onViewChanged() {
 
 // ---- message dispatch ----
 
-// HandleMessage implements simnet.Handler.
-func (s *Server) HandleMessage(from simnet.NodeID, msg any) {
+// HandleMessage implements transport.Handler.
+func (s *Server) HandleMessage(from transport.NodeID, msg any) {
 	if s.coordCli.MaybeHandle(from, msg) {
 		return
 	}
@@ -1007,8 +1007,8 @@ func (s *Server) HandleMessage(from simnet.NodeID, msg any) {
 	}
 }
 
-// HandleRequest implements simnet.RequestHandler.
-func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+// HandleRequest implements transport.RequestHandler.
+func (s *Server) HandleRequest(from transport.NodeID, req any, reply func(any)) {
 	if s.pool.MaybeHandleRequest(from, req, reply) {
 		return
 	}
@@ -1016,7 +1016,7 @@ func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 	case ClientOp:
 		s.handleClientOp(from, m, reply)
 	case WhoIsActive:
-		reply(ActiveIs{Active: simnet.NodeID(s.view.Active), Epoch: s.view.Epoch})
+		reply(ActiveIs{Active: transport.NodeID(s.view.Active), Epoch: s.view.Epoch})
 	case AppendBatch:
 		s.onAppendBatch(from, m, reply)
 	case RenewJournalReq:
@@ -1048,7 +1048,7 @@ func (s *Server) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 
 // ---- client operations on the active ----
 
-func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)) {
+func (s *Server) handleClientOp(from transport.NodeID, op ClientOp, reply func(any)) {
 	if s.upgrading {
 		// Fig. 4 step 3: accept and buffer, commit after the upgrade.
 		s.upgradeQueue = append(s.upgradeQueue, queuedOp{from: from, op: op, reply: reply})
@@ -1056,7 +1056,7 @@ func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)
 		return
 	}
 	if s.role != RoleActive {
-		reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+		reply(OpReply{NotActive: true, Hint: transport.NodeID(s.view.Active)})
 		return
 	}
 	if cached, dup := s.retryCache[op.ReqID]; dup {
@@ -1078,7 +1078,7 @@ func (s *Server) handleClientOp(from simnet.NodeID, op ClientOp, reply func(any)
 	if s.cfg.Params.GroupCommit && op.Kind.Mutating() {
 		svc = s.cfg.Params.dispatchSvc(svc)
 	}
-	now := s.node.World().Now()
+	now := s.node.Now()
 	start := s.busyUntil
 	if start < now {
 		start = now
@@ -1113,7 +1113,7 @@ func (s *Server) failOpAtBarrier(op ClientOp, errStr string, reply func(any)) {
 	}
 	s.waiters[barrier] = append(s.waiters[barrier], func(err error) {
 		if err != nil {
-			reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+			reply(OpReply{NotActive: true, Hint: transport.NodeID(s.view.Active)})
 			return
 		}
 		s.finishOp(op, OpReply{Err: errStr}, reply)
@@ -1123,7 +1123,7 @@ func (s *Server) failOpAtBarrier(op ClientOp, errStr string, reply func(any)) {
 // executeOp runs an operation after its queueing delay.
 func (s *Server) executeOp(op ClientOp, reply func(any)) {
 	if s.role != RoleActive || s.builder == nil {
-		reply(OpReply{NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+		reply(OpReply{NotActive: true, Hint: transport.NodeID(s.view.Active)})
 		return
 	}
 	if rep, stale := s.checkRouting(op); stale {
@@ -1138,7 +1138,7 @@ func (s *Server) executeOp(op ClientOp, reply func(any)) {
 		return
 	}
 	s.noteSlotOp(op)
-	now := int64(s.node.World().Now())
+	now := int64(s.node.Now())
 	switch op.Kind {
 	case OpStat:
 		info, err := s.tree.Stat(op.Path)
@@ -1191,7 +1191,7 @@ func (s *Server) applyAndJournal(op ClientOp, recs []journal.Record, reply func(
 	sn := s.log.LastSN() + 1
 	done := func(err error) {
 		if err != nil {
-			reply(OpReply{Err: err.Error(), NotActive: true, Hint: simnet.NodeID(s.view.Active)})
+			reply(OpReply{Err: err.Error(), NotActive: true, Hint: transport.NodeID(s.view.Active)})
 			return
 		}
 		s.finishOp(op, OpReply{SN: sn, Epoch: s.view.Epoch, DurableSN: s.committedSN}, reply)
@@ -1316,14 +1316,14 @@ func (s *Server) leaseLapsed() bool {
 // the current view plus a junior in final renewing sync. The set is
 // memoized per adopted view (it is on the per-seal hot path) and
 // invalidated whenever the view or the renew target changes.
-func (s *Server) replTargets() []simnet.NodeID {
+func (s *Server) replTargets() []transport.NodeID {
 	if s.replCacheOK {
 		return s.replCache
 	}
-	var out []simnet.NodeID
+	var out []transport.NodeID
 	for _, id := range s.view.Standbys() {
 		if id != string(s.cfg.ID) {
-			out = append(out, simnet.NodeID(id))
+			out = append(out, transport.NodeID(id))
 		}
 	}
 	if s.renewTarget != "" {
@@ -1372,7 +1372,7 @@ func (s *Server) sealBatch() {
 	s.obsSealed.Inc()
 	s.obsBatchRecords.Observe(float64(len(batch.Records)))
 	targets := s.replTargets()
-	now := s.node.World().Now()
+	now := s.node.Now()
 	var launchDelay sim.Time
 	if p.GroupCommit {
 		// The journal write runs on its own lane: sequential flush + encode
@@ -1397,7 +1397,7 @@ func (s *Server) sealBatch() {
 		s.busyUntil += cost
 	}
 
-	rs := &replState{batch: batch, needed: map[simnet.NodeID]bool{}, sealedAt: now}
+	rs := &replState{batch: batch, needed: map[transport.NodeID]bool{}, sealedAt: now}
 	rs.span = s.spans.Begin("journal-2pc", string(s.cfg.ID), 0,
 		"sn", fmt.Sprint(batch.SN), "standbys", fmt.Sprint(len(targets)))
 	for _, t := range targets {
@@ -1481,7 +1481,7 @@ func (s *Server) sealBatch() {
 	}
 }
 
-func (s *Server) makeAckHandler(sn uint64, target simnet.NodeID) func(any, error) {
+func (s *Server) makeAckHandler(sn uint64, target transport.NodeID) func(any, error) {
 	return func(resp any, err error) {
 		if err != nil {
 			// Timeout: the ack-timeout path demotes the laggard.
@@ -1543,7 +1543,7 @@ func (s *Server) tryAdvanceCommit() {
 		delete(s.pendingRepl, next)
 		s.committedSN = next
 		s.obsCommitted.Inc()
-		now := s.node.World().Now()
+		now := s.node.Now()
 		s.obsSealToCommit.Observe((now - rs.sealedAt).Seconds())
 		s.spans.End(rs.span, "outcome", "committed")
 		advanced = true
@@ -1594,7 +1594,7 @@ func (s *Server) onAckTimeout(sn uint64) {
 // fenceLaggard demotes a member that missed rs's batch and blocks rs's
 // commit until the demotion is durable. Releasing the fence re-polls the
 // commit pipeline.
-func (s *Server) fenceLaggard(rs *replState, id simnet.NodeID) {
+func (s *Server) fenceLaggard(rs *replState, id transport.NodeID) {
 	rs.fencing++
 	if s.poolDurableSN < s.committedSN {
 		// A batch that committed on this member's ack may still live only
@@ -1611,7 +1611,7 @@ func (s *Server) fenceLaggard(rs *replState, id simnet.NodeID) {
 	s.fenceNow(rs, id)
 }
 
-func (s *Server) fenceNow(rs *replState, id simnet.NodeID) {
+func (s *Server) fenceNow(rs *replState, id transport.NodeID) {
 	s.demoteMember(id, func() {
 		rs.fencing--
 		s.tryAdvanceCommit()
@@ -1649,7 +1649,7 @@ func (s *Server) releaseHeldFences() {
 // this server stopped being active, which voids its pending commits anyway).
 // Callers that must fence a laggard out of the next election before acking a
 // client pass done; fire-and-forget callers pass nil.
-func (s *Server) demoteMember(id simnet.NodeID, done func()) {
+func (s *Server) demoteMember(id transport.NodeID, done func()) {
 	if string(id) == s.view.Active {
 		if done != nil {
 			done()
@@ -1725,7 +1725,7 @@ type CommitNotice struct {
 	Through uint64
 }
 
-func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any)) {
+func (s *Server) onAppendBatch(from transport.NodeID, m AppendBatch, reply func(any)) {
 	if s.role != RoleStandby && !(s.role == RoleJunior && s.renewing) {
 		reply(AppendAck{From: s.cfg.ID, SN: m.Batch.SN, OK: false, LastSN: s.log.LastSN()})
 		return
@@ -1776,7 +1776,7 @@ func (s *Server) onAppendBatch(from simnet.NodeID, m AppendBatch, reply func(any
 	case sn == expected:
 		// Charge standby CPU for the records it will apply.
 		cost := sim.Time(len(m.Batch.Records)) * s.cfg.Params.StandbyApplyPerRecord
-		now := s.node.World().Now()
+		now := s.node.Now()
 		if s.busyUntil < now {
 			s.busyUntil = now
 		}

@@ -6,7 +6,7 @@ import (
 	"mams/internal/journal"
 	"mams/internal/partition"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 	"mams/internal/trace"
 )
 
@@ -22,7 +22,7 @@ type txnState struct {
 	failed    bool
 	failErr   string
 	localDone bool
-	timer     *sim.Timer
+	timer     transport.Timer
 	finished  bool
 }
 
@@ -30,7 +30,7 @@ type txnState struct {
 // scheme may spread over several replica groups (the paper's "distributed
 // transactions in the CFS", Fig. 5).
 func (s *Server) executeStructuralOp(op ClientOp, reply func(any)) {
-	now := int64(s.node.World().Now())
+	now := int64(s.node.Now())
 	part := s.cfg.Partitioner
 
 	var class partition.OpClass
@@ -156,7 +156,7 @@ func (s *Server) executeStructuralOp(op ClientOp, reply func(any)) {
 	}
 	s.txnPending[txn.id] = txn
 	// Coordinator-side 2PC bookkeeping cost.
-	now2 := s.node.World().Now()
+	now2 := s.node.Now()
 	if s.busyUntil < now2 {
 		s.busyUntil = now2
 	}
@@ -218,7 +218,7 @@ func (s *Server) sendPrepare(txn *txnState, group int, recs []journal.Record, at
 		}
 		return
 	}
-	s.resolveGroupActive(group, attempt, func(active simnet.NodeID) {
+	s.resolveGroupActive(group, attempt, func(active transport.NodeID) {
 		if active == "" {
 			s.node.After(300*sim.Millisecond, "mams-txn-retry", func() {
 				s.sendPrepare(txn, group, recs, attempt+1)
@@ -252,7 +252,7 @@ func (s *Server) sendPrepare(txn *txnState, group int, recs []journal.Record, at
 }
 
 // resolveGroupActive finds another group's active via WhoIsActive.
-func (s *Server) resolveGroupActive(group int, attempt int, cb func(simnet.NodeID)) {
+func (s *Server) resolveGroupActive(group int, attempt int, cb func(transport.NodeID)) {
 	if group < 0 || group >= len(s.cfg.AllGroups) {
 		cb("")
 		return
@@ -292,7 +292,7 @@ func (s *Server) maybeFinishTxn(txn *txnState) {
 		s.compensateLocal(txn)
 		for g := range txn.prepared {
 			g := g
-			s.resolveGroupActive(g, 0, func(active simnet.NodeID) {
+			s.resolveGroupActive(g, 0, func(active transport.NodeID) {
 				if active != "" {
 					s.node.Send(active, TxnAbort{TxnID: txn.id})
 				}
@@ -350,7 +350,7 @@ type preparedTxn struct {
 
 // onTxnPrepare validates, applies and journals the participant's share,
 // voting OK once the records are in the pipeline.
-func (s *Server) onTxnPrepare(from simnet.NodeID, m TxnPrepare, reply func(any)) {
+func (s *Server) onTxnPrepare(from transport.NodeID, m TxnPrepare, reply func(any)) {
 	if s.role != RoleActive || s.builder == nil {
 		reply(TxnVote{TxnID: m.TxnID, From: s.cfg.ID, OK: false, Err: "mams: not active"})
 		return
@@ -379,7 +379,7 @@ func (s *Server) onTxnPrepare(from simnet.NodeID, m TxnPrepare, reply func(any))
 			svc += s.cfg.Params.DeleteSvc
 		}
 	}
-	now := s.node.World().Now()
+	now := s.node.Now()
 	if s.busyUntil < now {
 		s.busyUntil = now
 	}

@@ -1,0 +1,16 @@
+package nettrans_test
+
+import (
+	"testing"
+
+	"mams/internal/transport/transporttest"
+)
+
+// TestConformance pins the real plane to the cross-transport behavioral
+// contract (the same suite runs against simnet in internal/simnet). Every
+// node lives on its own Transport with its own listener, so all traffic
+// crosses real TCP connections on loopback.
+func TestConformance(t *testing.T) {
+	defer transporttest.LeakCheck(t)()
+	transporttest.RunConformance(t, transporttest.NewNetPlane)
+}

@@ -1,0 +1,318 @@
+// Package testutil boots a complete MAMS deployment over real TCP on
+// loopback: one nettrans.Transport per process (each coordination server,
+// each metadata server, and the client), a shared address book, and
+// synchronous helpers that bridge the test goroutine onto each process's
+// event loop.
+//
+// It is the wire-plane sibling of internal/cluster (which assembles the
+// same topology on the deterministic sim plane) and exists so integration
+// tests and benchmarks can exercise the unmodified protocol state machines
+// across genuine process-style boundaries — real listeners, real
+// connections, wall-clock timers.
+package testutil
+
+import (
+	"fmt"
+	"time"
+
+	"mams/internal/coord"
+	"mams/internal/fsclient"
+	"mams/internal/mams"
+	"mams/internal/namespace"
+	"mams/internal/nettrans"
+	"mams/internal/partition"
+	"mams/internal/rng"
+	"mams/internal/sim"
+	"mams/internal/ssp"
+	"mams/internal/transport"
+)
+
+// ClusterConfig sizes a single-group wire-plane deployment.
+type ClusterConfig struct {
+	// Members is the replica-group size (default 3: one active boots with
+	// two standbys). Every member doubles as an SSP pool node, like the
+	// paper's co-located pool.
+	Members int
+	// CoordServers sizes the coordination ensemble (default 3).
+	CoordServers int
+	// Seed feeds each server's election-jitter RNG (default 1).
+	Seed uint64
+
+	// CoordHeartbeat / CoordSessionTimeout are wall-clock here. The paper
+	// uses 2 s / 5 s; the defaults (300 ms / 1200 ms) keep failover tests
+	// fast while preserving the 4-heartbeats-per-timeout ratio.
+	CoordHeartbeat      sim.Time
+	CoordSessionTimeout sim.Time
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Members == 0 {
+		c.Members = 3
+	}
+	if c.CoordServers == 0 {
+		c.CoordServers = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CoordHeartbeat == 0 {
+		c.CoordHeartbeat = 300 * sim.Millisecond
+	}
+	if c.CoordSessionTimeout == 0 {
+		c.CoordSessionTimeout = 1200 * sim.Millisecond
+	}
+}
+
+// Proc is one simulated OS process: a transport plus whatever server it
+// hosts.
+type Proc struct {
+	ID transport.NodeID
+	Tr *nettrans.Transport
+}
+
+// Cluster is a running wire-plane deployment.
+type Cluster struct {
+	Cfg  ClusterConfig
+	Book *nettrans.AddrBook
+
+	Coord      []Proc
+	CoordSrvs  []*coord.Server
+	MDS        []Proc
+	Servers    []*mams.Server
+	ClientProc Proc
+	Client     *fsclient.Client
+
+	Part     *partition.Partitioner
+	GroupIDs [][]transport.NodeID
+}
+
+// NewCluster boots the deployment: listeners first (so the address book is
+// complete before any cross-process traffic), then coordination servers,
+// then metadata servers, then the client. Server construction runs on each
+// process's event loop via Do — node state is loop-owned on the real plane.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.defaults()
+	c := &Cluster{Cfg: cfg, Book: nettrans.NewAddrBook()}
+
+	spawn := func(id transport.NodeID) (Proc, error) {
+		tr, err := nettrans.New(nettrans.Config{Addr: "127.0.0.1:0", Book: c.Book})
+		if err != nil {
+			c.Close()
+			return Proc{}, err
+		}
+		c.Book.Set(id, tr.Addr())
+		return Proc{ID: id, Tr: tr}, nil
+	}
+
+	// Phase 1: every process gets its listener and publishes its address.
+	coordIDs := make([]transport.NodeID, cfg.CoordServers)
+	for i := range coordIDs {
+		coordIDs[i] = transport.NodeID(fmt.Sprintf("coord%d", i))
+		p, err := spawn(coordIDs[i])
+		if err != nil {
+			return nil, err
+		}
+		c.Coord = append(c.Coord, p)
+	}
+	var mdsIDs []transport.NodeID
+	for m := 0; m < cfg.Members; m++ {
+		id := transport.NodeID(fmt.Sprintf("g0-mds%d", m))
+		mdsIDs = append(mdsIDs, id)
+		p, err := spawn(id)
+		if err != nil {
+			return nil, err
+		}
+		c.MDS = append(c.MDS, p)
+	}
+	c.GroupIDs = [][]transport.NodeID{mdsIDs}
+	clientProc, err := spawn("client0")
+	if err != nil {
+		return nil, err
+	}
+	c.ClientProc = clientProc
+
+	// Phase 2: coordination ensemble, one server per process.
+	for i, p := range c.Coord {
+		i, p := i, p
+		var srv *coord.Server
+		p.Tr.Do(func() {
+			srv = coord.NewServer(p.Tr, coord.ServerConfig{
+				ID: p.ID, Ensemble: coordIDs, Bootstrap: i == 0,
+			}, nil)
+			srv.Start()
+		})
+		c.CoordSrvs = append(c.CoordSrvs, srv)
+	}
+
+	// Phase 3: metadata servers (member 0 boots active, the rest standby).
+	c.Part = partition.NewSharded(1, partition.DefaultSlotsPerGroup, 0)
+	seedRNG := rng.New(cfg.Seed)
+	for m, p := range c.MDS {
+		m, p := m, p
+		role := mams.RoleStandby
+		if m == 0 {
+			role = mams.RoleActive
+		}
+		rnd := seedRNG.Split(string(p.ID)).Float64
+		var srv *mams.Server
+		p.Tr.Do(func() {
+			srv = mams.NewServer(p.Tr, mams.Config{
+				ID:                  p.ID,
+				Group:               "g0",
+				GroupIndex:          0,
+				Members:             mdsIDs,
+				AllGroups:           c.GroupIDs,
+				InitialRole:         role,
+				CoordServers:        coordIDs,
+				CoordSessionTimeout: cfg.CoordSessionTimeout,
+				CoordHeartbeat:      cfg.CoordHeartbeat,
+				PoolNodes:           mdsIDs,
+				Partitioner:         c.Part,
+				Params:              mams.DefaultParams(),
+				SSPParams:           ssp.DefaultParams(),
+			}, nil, rnd)
+			srv.Start()
+		})
+		c.Servers = append(c.Servers, srv)
+	}
+
+	// Phase 4: the client process.
+	c.ClientProc.Tr.Do(func() {
+		c.Client = fsclient.New(c.ClientProc.Tr, fsclient.Config{
+			ID:             "client0",
+			Groups:         c.GroupIDs,
+			Partitioner:    c.Part,
+			RequestTimeout: 500 * sim.Millisecond,
+			RetryBackoff:   50 * sim.Millisecond,
+		})
+	})
+	return c, nil
+}
+
+// Close tears down every process. Idempotent per transport (Close is).
+func (c *Cluster) Close() {
+	if c.ClientProc.Tr != nil {
+		c.ClientProc.Tr.Close()
+	}
+	for _, p := range c.MDS {
+		p.Tr.Close()
+	}
+	for _, p := range c.Coord {
+		p.Tr.Close()
+	}
+}
+
+// roles samples each member's liveness and role on its own event loop. A
+// killed process (closed transport) reports down.
+func (c *Cluster) roles() (actives, standbys, down int) {
+	for i, p := range c.MDS {
+		srv := c.Servers[i]
+		var up bool
+		var role mams.Role
+		alive := p.Tr.Do(func() {
+			up = srv.Node().Up()
+			role = srv.Role()
+		})
+		if !alive || !up {
+			down++
+			continue
+		}
+		switch role {
+		case mams.RoleActive:
+			actives++
+		case mams.RoleStandby:
+			standbys++
+		}
+	}
+	return
+}
+
+// Stable reports whether the group has exactly one active and every other
+// live member is a standby.
+func (c *Cluster) Stable() bool {
+	actives, standbys, down := c.roles()
+	return actives == 1 && actives+standbys+down == len(c.MDS)
+}
+
+// AwaitStable polls Stable until it holds or the wall-clock deadline
+// passes.
+func (c *Cluster) AwaitStable(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if c.Stable() {
+			return true
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return c.Stable()
+}
+
+// Active returns the index of the current active member, or -1.
+func (c *Cluster) Active() int {
+	for i, p := range c.MDS {
+		srv := c.Servers[i]
+		var isActive bool
+		alive := p.Tr.Do(func() {
+			isActive = srv.Node().Up() && srv.Role() == mams.RoleActive
+		})
+		if alive && isActive {
+			return i
+		}
+	}
+	return -1
+}
+
+// KillActive closes the active member's transport — listener, connections,
+// event loop, timers — the wire-plane version of a process crash. Returns
+// the killed member's index, or -1 if no active was found.
+func (c *Cluster) KillActive() int {
+	i := c.Active()
+	if i < 0 {
+		return -1
+	}
+	c.MDS[i].Tr.Close()
+	return i
+}
+
+// ---- synchronous client helpers (bridge test goroutine → client loop) ----
+
+// Create makes a file and waits for the ack.
+func (c *Cluster) Create(path string, size int64) error {
+	done := make(chan error, 1)
+	c.ClientProc.Tr.Do(func() {
+		c.Client.Create(path, size, func(err error) { done <- err })
+	})
+	return <-done
+}
+
+// Mkdir makes a directory and waits for the ack.
+func (c *Cluster) Mkdir(path string) error {
+	done := make(chan error, 1)
+	c.ClientProc.Tr.Do(func() {
+		c.Client.Mkdir(path, func(err error) { done <- err })
+	})
+	return <-done
+}
+
+// Delete removes a file or empty directory and waits for the ack.
+func (c *Cluster) Delete(path string) error {
+	done := make(chan error, 1)
+	c.ClientProc.Tr.Do(func() {
+		c.Client.Delete(path, func(err error) { done <- err })
+	})
+	return <-done
+}
+
+// Stat fetches file metadata and waits for the answer.
+func (c *Cluster) Stat(path string) (*namespace.Info, error) {
+	type ans struct {
+		info *namespace.Info
+		err  error
+	}
+	done := make(chan ans, 1)
+	c.ClientProc.Tr.Do(func() {
+		c.Client.Stat(path, func(info *namespace.Info, err error) { done <- ans{info, err} })
+	})
+	a := <-done
+	return a.info, a.err
+}

@@ -1,0 +1,17 @@
+package partition
+
+// GobEncode implements gob.GobEncoder by delegating to the canonical wire
+// encoding (the same bytes stored in the /mams/shardmap znode), so a *Map
+// riding inside an OpReply survives the real transport's gob framing even
+// though its fields are unexported.
+func (m *Map) GobEncode() ([]byte, error) { return m.Encode(), nil }
+
+// GobDecode implements gob.GobDecoder.
+func (m *Map) GobDecode(data []byte) error {
+	dec, err := DecodeMap(data)
+	if err != nil {
+		return err
+	}
+	*m = *dec
+	return nil
+}

@@ -1,0 +1,18 @@
+package paxos
+
+import "encoding/gob"
+
+// Wire-type registration for the real transport's gob framing: every Msg
+// implementation plus Noop (which travels inside the interface-typed V
+// fields when recovery fills log gaps).
+func init() {
+	gob.Register(Prepare{})
+	gob.Register(Promise{})
+	gob.Register(Accept{})
+	gob.Register(Accepted{})
+	gob.Register(Nack{})
+	gob.Register(Learn{})
+	gob.Register(LearnReq{})
+	gob.Register(LearnBatch{})
+	gob.Register(Noop{})
+}

@@ -1,0 +1,31 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"mams/internal/sim"
+	"mams/internal/transport/transporttest"
+)
+
+// TestConformance pins the sim plane to the cross-transport behavioral
+// contract (the same suite runs against nettrans in internal/nettrans).
+func TestConformance(t *testing.T) {
+	transporttest.RunConformance(t, transporttest.NewSimPlane)
+}
+
+// TestAfterRearmOrdering covers the sim-specific timer surface the
+// interface can't: node timers returned by After are kernel timers
+// underneath, and Rearm must re-order them against later-armed ones.
+func TestAfterRearmOrdering(t *testing.T) {
+	sp := transporttest.NewSim(7, 1_000_000, 0, 0, nil)
+	nd := sp.Net.AddNode("n", nil)
+	var fired []string
+	tm := nd.After(10*sim.Millisecond, "a", func() { fired = append(fired, "a") })
+	nd.After(20*sim.Millisecond, "b", func() { fired = append(fired, "b") })
+	// Push "a" past "b": it must now fire second despite being armed first.
+	sp.World.Rearm(tm.(*sim.Timer), 30*sim.Millisecond, "a", func() { fired = append(fired, "a") })
+	sp.World.RunFor(50 * sim.Millisecond)
+	if len(fired) != 2 || fired[0] != "b" || fired[1] != "a" {
+		t.Fatalf("fire order %v, want [b a]", fired)
+	}
+}

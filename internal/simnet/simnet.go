@@ -18,36 +18,42 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 
 	"mams/internal/obs"
 	"mams/internal/rng"
 	"mams/internal/sim"
 	"mams/internal/trace"
+	"mams/internal/transport"
 )
 
-// NodeID names a process in the simulated cluster.
-type NodeID string
+// NodeID names a process in the simulated cluster. It is the shared
+// transport-plane identifier; protocol packages see it as transport.NodeID.
+type NodeID = transport.NodeID
 
-// Errors surfaced to RPC callers.
+// Errors surfaced to RPC callers. These alias the transport-plane values so
+// identity comparisons (err == transport.ErrTimeout) hold regardless of
+// which package the caller imported.
 var (
 	// ErrTimeout reports that no response arrived within the deadline.
-	ErrTimeout = errors.New("simnet: rpc timeout")
+	ErrTimeout = transport.ErrTimeout
 	// ErrNodeDown reports a local send from a crashed process.
-	ErrNodeDown = errors.New("simnet: local node is down")
+	ErrNodeDown = transport.ErrNodeDown
 )
 
 // Handler consumes one-way messages addressed to a node.
-type Handler interface {
-	HandleMessage(from NodeID, msg any)
-}
+type Handler = transport.Handler
 
 // RequestHandler additionally consumes RPC requests. reply may be invoked
 // immediately or from a later event; invoking it more than once panics.
-type RequestHandler interface {
-	HandleRequest(from NodeID, req any, reply func(resp any))
-}
+type RequestHandler = transport.RequestHandler
+
+// Compile-time plane checks: simnet is the deterministic implementation of
+// the transport interface pair.
+var (
+	_ transport.Transport = (*Network)(nil)
+	_ transport.Node      = (*Node)(nil)
+)
 
 // LatencyModel describes one-way message delay.
 type LatencyModel struct {
@@ -184,6 +190,10 @@ func (n *Network) AddNode(id NodeID, h Handler) *Node {
 	n.nodes[id] = node
 	return node
 }
+
+// Listen registers a node and returns it as a transport-plane handle; it is
+// AddNode behind the transport.Transport interface.
+func (n *Network) Listen(id NodeID, h Handler) transport.Node { return n.AddNode(id, h) }
 
 // Cut severs delivery from a to b (one direction). Messages in flight are
 // dropped at delivery time.
@@ -336,6 +346,15 @@ func (nd *Node) Net() *Network { return nd.net }
 // World returns the simulation world.
 func (nd *Node) World() *sim.World { return nd.net.world }
 
+// Now returns the transport clock — virtual time on this plane.
+func (nd *Node) Now() sim.Time { return nd.net.world.Now() }
+
+// Obs returns the owning network's metrics registry (nil-safe to use).
+func (nd *Node) Obs() *obs.Registry { return nd.net.reg }
+
+// Tracer returns the owning network's span tracer (nil-safe to use).
+func (nd *Node) Tracer() *obs.Tracer { return nd.net.tracer }
+
 // Up reports whether the process is running.
 func (nd *Node) Up() bool { return nd.up }
 
@@ -452,7 +471,7 @@ func (nd *Node) deliver(from NodeID, env envelope) {
 // node has crashed or restarted in the meantime. d is a *local* duration:
 // slowdown stretches it and clock skew rescales it (gray.go), so a degraded
 // or skewed node's timers fire late or early in true virtual time.
-func (nd *Node) After(d sim.Time, name string, fn func()) *sim.Timer {
+func (nd *Node) After(d sim.Time, name string, fn func()) transport.Timer {
 	d = nd.stretchTimer(d)
 	gen := nd.gen
 	return nd.net.world.After(d, string(nd.id)+":"+name, func() {

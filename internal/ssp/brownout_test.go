@@ -18,9 +18,9 @@ func TestBrownoutPutBoundedBySizeScaledTimeout(t *testing.T) {
 	var doneAt sim.Time
 	done := false
 	e.hosts[0].client.Put(key, []byte("batch"), 64, func(err error) {
-		putErr, doneAt, done = err, e.world.Now(), true
+		putErr, doneAt, done = err, e.sp.World.Now(), true
 	})
-	e.world.RunFor(200 * sim.Second)
+	e.sp.World.RunFor(200 * sim.Second)
 	if !done || putErr == nil {
 		t.Fatalf("put done=%v err=%v, want a timeout error", done, putErr)
 	}
@@ -39,9 +39,9 @@ func TestBrownoutPartialFailuresSurfaceQuickly(t *testing.T) {
 	var doneAt sim.Time
 	done := false
 	e.hosts[0].client.Put(key, []byte("batch"), 64, func(err error) {
-		putErr, doneAt, done = err, e.world.Now(), true
+		putErr, doneAt, done = err, e.sp.World.Now(), true
 	})
-	e.world.RunFor(200 * sim.Second)
+	e.sp.World.RunFor(200 * sim.Second)
 	if !done || putErr == nil {
 		t.Fatalf("put done=%v err=%v, want ErrBrownout surfaced", done, putErr)
 	}
@@ -70,7 +70,7 @@ func TestGetFallsBackToRemoteWhenLocalBrownedOut(t *testing.T) {
 	key := Key{Group: "g1", Kind: KindJournal, Seq: 7}
 	stored := false
 	e.hosts[0].client.Put(key, []byte("batch"), 64, func(err error) { stored = err == nil })
-	e.world.Run()
+	e.sp.World.Run()
 	if !stored {
 		t.Fatal("seed put failed")
 	}
@@ -81,7 +81,7 @@ func TestGetFallsBackToRemoteWhenLocalBrownedOut(t *testing.T) {
 	e.hosts[0].client.Get(key, func(d []byte, _ int64, err error) {
 		data, getErr, done = d, err, true
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if !done || getErr != nil || string(data) != "batch" {
 		t.Fatalf("get done=%v err=%v data=%q, want remote fallback success", done, getErr, data)
 	}

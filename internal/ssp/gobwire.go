@@ -1,0 +1,18 @@
+package ssp
+
+import "encoding/gob"
+
+// Wire-type registration for the real transport's gob framing (see
+// internal/mams/gobwire.go).
+func init() {
+	gob.Register(storeReq{})
+	gob.Register(storeResp{})
+	gob.Register(fetchReq{})
+	gob.Register(fetchResp{})
+	gob.Register(listReq{})
+	gob.Register(listResp{})
+	gob.Register(hasReq{})
+	gob.Register(hasResp{})
+	gob.Register(deleteReq{})
+	gob.Register(deleteResp{})
+}

@@ -21,7 +21,7 @@ import (
 
 	"mams/internal/obs"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
 )
 
 // Object kinds stored in the pool.
@@ -152,7 +152,7 @@ type deleteResp struct{}
 // PoolNode is the storage service component hosted on a server process. It
 // answers store/fetch/list RPCs with service times derived from Params.
 type PoolNode struct {
-	host    *simnet.Node
+	host    transport.Node
 	params  Params
 	objects map[Key]object
 
@@ -171,7 +171,7 @@ type PoolNode struct {
 }
 
 // NewPoolNode attaches pool storage to a host process.
-func NewPoolNode(host *simnet.Node, params Params) *PoolNode {
+func NewPoolNode(host transport.Node, params Params) *PoolNode {
 	return &PoolNode{host: host, params: params, objects: map[Key]object{}}
 }
 
@@ -186,7 +186,7 @@ func (p *PoolNode) SetBrownout(b Brownout) {
 	if !b.active() {
 		shown = 1
 	}
-	p.host.Net().Obs().Gauge("mams_ssp_brownout_factor",
+	p.host.Obs().Gauge("mams_ssp_brownout_factor",
 		"Pool data-path slowdown per node (1 = healthy).",
 		"node", string(p.host.ID())).Set(shown)
 }
@@ -204,7 +204,7 @@ func (p *PoolNode) brownFail() bool {
 	if p.brownOps%p.brown.FailEvery != 0 {
 		return false
 	}
-	p.host.Net().Obs().Counter("mams_ssp_brownout_failures_total",
+	p.host.Obs().Counter("mams_ssp_brownout_failures_total",
 		"Data ops failed by brownout mode per pool node.",
 		"node", string(p.host.ID())).Inc()
 	return true
@@ -215,7 +215,7 @@ func (p *PoolNode) brownFail() bool {
 func (p *PoolNode) serveObs() (*obs.Histogram, *obs.Counter) {
 	if !p.obsInit {
 		p.obsInit = true
-		reg := p.host.Net().Obs()
+		reg := p.host.Obs()
 		node := string(p.host.ID())
 		p.serveHist = reg.Histogram("mams_ssp_pool_serve_seconds",
 			"Data-op service time per serving pool node.",
@@ -231,7 +231,7 @@ func (p *PoolNode) serveObs() (*obs.Histogram, *obs.Counter) {
 // outcome.
 func (p *PoolNode) serveDone(start sim.Time, failed bool) {
 	hist, errs := p.serveObs()
-	hist.Observe((p.host.World().Now() - start).Seconds())
+	hist.Observe((p.host.Now() - start).Seconds())
 	if failed {
 		errs.Inc()
 	}
@@ -239,10 +239,10 @@ func (p *PoolNode) serveDone(start sim.Time, failed bool) {
 
 // MaybeHandleRequest serves pool RPCs addressed to the host. Hosts call it
 // from HandleRequest and skip requests it consumed.
-func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(any)) bool {
+func (p *PoolNode) MaybeHandleRequest(from transport.NodeID, req any, reply func(any)) bool {
 	switch m := req.(type) {
 	case storeReq:
-		start := p.host.World().Now()
+		start := p.host.Now()
 		cost := p.brown.stretch(p.params.writeCost(m.Size))
 		if p.brownFail() {
 			// The write grinds for its (degraded) service time and then
@@ -265,7 +265,7 @@ func (p *PoolNode) MaybeHandleRequest(from simnet.NodeID, req any, reply func(an
 			reply(fetchResp{Err: ErrNotFound.Error()})
 			return true
 		}
-		start := p.host.World().Now()
+		start := p.host.Now()
 		cost := p.params.readCost(obj.size)
 		if from != p.host.ID() {
 			cost += p.params.transferCost(obj.size)
@@ -322,7 +322,7 @@ func (p *PoolNode) LocalGet(key Key, cb func(data []byte, size int64, err error)
 		p.host.After(0, "ssp-localget-miss", func() { cb(nil, 0, ErrNotFound) })
 		return
 	}
-	start := p.host.World().Now()
+	start := p.host.Now()
 	cost := p.brown.stretch(p.params.readCost(obj.size))
 	if p.brownFail() {
 		p.host.After(cost, "ssp-localget-brownout", func() {
@@ -349,8 +349,8 @@ func (p *PoolNode) ObjectCount() int { return len(p.objects) }
 
 // Client writes and reads pool objects on behalf of a host process.
 type Client struct {
-	host    *simnet.Node
-	pools   []simnet.NodeID
+	host    transport.Node
+	pools   []transport.NodeID
 	local   *PoolNode // non-nil when a pool node is co-located with host
 	replica int       // write replication factor
 	timeout sim.Time
@@ -361,7 +361,7 @@ type Client struct {
 	// timeout. The local replica is never skipped, and avoidance never
 	// empties the target set — with every member suspect, placement falls
 	// back to the full rotation.
-	avoid func(simnet.NodeID) bool
+	avoid func(transport.NodeID) bool
 
 	// Observability (nil-safe no-ops without a registry on the network).
 	stores     *obs.Counter
@@ -374,14 +374,14 @@ type Client struct {
 
 // NewClient builds a pool client. local may be nil; replica is clamped to
 // the pool size.
-func NewClient(host *simnet.Node, pools []simnet.NodeID, local *PoolNode, replica int) *Client {
+func NewClient(host transport.Node, pools []transport.NodeID, local *PoolNode, replica int) *Client {
 	if replica <= 0 {
 		replica = 2
 	}
 	if replica > len(pools) {
 		replica = len(pools)
 	}
-	reg, me := host.Net().Obs(), string(host.ID())
+	reg, me := host.Obs(), string(host.ID())
 	return &Client{
 		host: host, pools: pools, local: local, replica: replica, timeout: 120 * sim.Second,
 		stores: reg.Counter("mams_ssp_stores_total",
@@ -403,14 +403,14 @@ func NewClient(host *simnet.Node, pools []simnet.NodeID, local *PoolNode, replic
 // SetAvoid installs a liveness hint consulted at Put placement time (may
 // be nil). It is advisory: reads are unaffected, and a stale hint costs at
 // most replica placement, never correctness.
-func (c *Client) SetAvoid(f func(simnet.NodeID) bool) { c.avoid = f }
+func (c *Client) SetAvoid(f func(transport.NodeID) bool) { c.avoid = f }
 
 // targets picks the replica set for a key: the local node first (cheap
 // sequential local write), then deterministic rotation by Seq so load
 // spreads across the pool. Members the avoid hint marks down are skipped
 // unless that would leave no target at all.
-func (c *Client) targets(key Key) []simnet.NodeID {
-	ordered := make([]simnet.NodeID, 0, len(c.pools))
+func (c *Client) targets(key Key) []transport.NodeID {
+	ordered := make([]transport.NodeID, 0, len(c.pools))
 	skipped := false
 	if c.local != nil {
 		ordered = append(ordered, c.host.ID())
@@ -452,12 +452,12 @@ func (c *Client) Put(key Key, data []byte, size int64, cb func(err error)) {
 	}
 	c.stores.Inc()
 	c.storeBytes.Add(float64(size))
-	started := c.host.World().Now()
+	started := c.host.Now()
 	remaining := len(targets)
 	var firstErr error
 	done := false
 	finish := func(err error) {
-		if err == simnet.ErrTimeout {
+		if err == transport.ErrTimeout {
 			c.timeouts.Inc()
 		}
 		if err != nil && firstErr == nil {
@@ -467,7 +467,7 @@ func (c *Client) Put(key Key, data []byte, size int64, cb func(err error)) {
 		if remaining == 0 && !done {
 			done = true
 			if firstErr == nil {
-				c.storeLat.Observe((c.host.World().Now() - started).Seconds())
+				c.storeLat.Observe((c.host.Now() - started).Seconds())
 			}
 			cb(firstErr)
 		}
@@ -537,7 +537,7 @@ func (c *Client) getRemote(key Key, idx int, cb func(data []byte, size int64, er
 	// in seconds instead of stalling for an image-sized transfer timeout.
 	c.host.Call(target, hasReq{Key: key}, 2*sim.Second, func(resp any, err error) {
 		if err != nil {
-			if err == simnet.ErrTimeout {
+			if err == transport.ErrTimeout {
 				c.timeouts.Inc()
 			}
 			c.getRemote(key, idx+1, cb)
@@ -557,7 +557,7 @@ func (c *Client) getRemote(key Key, idx int, cb func(data []byte, size int64, er
 		}
 		c.host.Call(target, fetchReq{Key: key}, fetchTimeout, func(resp any, err error) {
 			if err != nil {
-				if err == simnet.ErrTimeout {
+				if err == transport.ErrTimeout {
 					c.timeouts.Inc()
 				}
 				c.getRemote(key, idx+1, cb)

@@ -5,20 +5,20 @@ import (
 	"fmt"
 	"testing"
 
-	"mams/internal/rng"
 	"mams/internal/sim"
-	"mams/internal/simnet"
+	"mams/internal/transport"
+	"mams/internal/transport/transporttest"
 )
 
 // poolHost is a process hosting one pool node and one client.
 type poolHost struct {
-	node   *simnet.Node
+	node   transport.Node
 	pool   *PoolNode
 	client *Client
 }
 
-func (h *poolHost) HandleMessage(from simnet.NodeID, msg any) {}
-func (h *poolHost) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
+func (h *poolHost) HandleMessage(from transport.NodeID, msg any) {}
+func (h *poolHost) HandleRequest(from transport.NodeID, req any, reply func(any)) {
 	if h.pool.MaybeHandleRequest(from, req, reply) {
 		return
 	}
@@ -26,24 +26,21 @@ func (h *poolHost) HandleRequest(from simnet.NodeID, req any, reply func(any)) {
 }
 
 type sspEnv struct {
-	world *sim.World
-	net   *simnet.Network
+	sp    *transporttest.Sim
 	hosts []*poolHost
-	ids   []simnet.NodeID
+	ids   []transport.NodeID
 }
 
 func newSSPEnv(t *testing.T, n, replica int) *sspEnv {
 	t.Helper()
-	w := sim.NewWorld()
-	w.SetStepLimit(1_000_000)
-	net := simnet.New(w, rng.New(1), simnet.LatencyModel{Base: 200 * sim.Microsecond}, nil)
-	env := &sspEnv{world: w, net: net}
+	sp := transporttest.NewSim(1, 1_000_000, 200*sim.Microsecond, 0, nil)
+	env := &sspEnv{sp: sp}
 	for i := 0; i < n; i++ {
-		env.ids = append(env.ids, simnet.NodeID(fmt.Sprintf("pool%d", i)))
+		env.ids = append(env.ids, transport.NodeID(fmt.Sprintf("pool%d", i)))
 	}
 	for i := 0; i < n; i++ {
 		h := &poolHost{}
-		h.node = net.AddNode(env.ids[i], h)
+		h.node = sp.Net.Listen(env.ids[i], h)
 		h.pool = NewPoolNode(h.node, DefaultParams())
 		env.hosts = append(env.hosts, h)
 	}
@@ -59,7 +56,7 @@ func TestPutReplicatesToRequestedCopies(t *testing.T) {
 	var putErr error
 	done := false
 	e.hosts[0].client.Put(key, []byte("batch"), 5, func(err error) { putErr, done = err, true })
-	e.world.Run()
+	e.sp.World.Run()
 	if !done || putErr != nil {
 		t.Fatalf("put done=%v err=%v", done, putErr)
 	}
@@ -82,16 +79,16 @@ func TestGetPrefersLocal(t *testing.T) {
 	e := newSSPEnv(t, 3, 3)
 	key := Key{Group: "g", Kind: KindImage, Seq: 10}
 	e.hosts[0].client.Put(key, []byte("img"), 1000, func(error) {})
-	e.world.Run()
-	start := e.world.Now()
+	e.sp.World.Run()
+	start := e.sp.World.Now()
 	var gotLocal, gotRemote sim.Time
 	e.hosts[0].client.Get(key, func(data []byte, size int64, err error) {
 		if err != nil || string(data) != "img" || size != 1000 {
 			t.Errorf("local get: %v %q %d", err, data, size)
 		}
-		gotLocal = e.world.Now() - start
+		gotLocal = e.sp.World.Now() - start
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	// A node without a local copy must still read it (remote), slower.
 	var missHost *poolHost
 	for _, h := range e.hosts {
@@ -102,14 +99,14 @@ func TestGetPrefersLocal(t *testing.T) {
 	if missHost == nil {
 		t.Skip("replication covered every node")
 	}
-	start = e.world.Now()
+	start = e.sp.World.Now()
 	missHost.client.Get(key, func(data []byte, size int64, err error) {
 		if err != nil || string(data) != "img" {
 			t.Errorf("remote get: %v %q", err, data)
 		}
-		gotRemote = e.world.Now() - start
+		gotRemote = e.sp.World.Now() - start
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if gotRemote <= gotLocal {
 		t.Fatalf("remote read (%v) should cost more than local (%v)", gotRemote, gotLocal)
 	}
@@ -120,15 +117,15 @@ func TestLogicalSizeDrivesCost(t *testing.T) {
 	small := Key{Group: "g", Kind: KindImage, Seq: 1}
 	big := Key{Group: "g", Kind: KindImage, Seq: 2}
 	e.hosts[0].client.Put(small, []byte("x"), 1<<20, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	e.hosts[0].client.Put(big, []byte("x"), 512<<20, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 
 	read := func(k Key) sim.Time {
-		start := e.world.Now()
+		start := e.sp.World.Now()
 		var took sim.Time
-		e.hosts[0].client.Get(k, func([]byte, int64, error) { took = e.world.Now() - start })
-		e.world.Run()
+		e.hosts[0].client.Get(k, func([]byte, int64, error) { took = e.sp.World.Now() - start })
+		e.sp.World.Run()
 		return took
 	}
 	tSmall, tBig := read(small), read(big)
@@ -148,7 +145,7 @@ func TestGetMissingObject(t *testing.T) {
 	e.hosts[0].client.Get(Key{Group: "g", Kind: KindImage, Seq: 99}, func(d []byte, s int64, err error) {
 		gotErr, done = err, true
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if !done || !errors.Is(gotErr, ErrNotFound) {
 		t.Fatalf("done=%v err=%v", done, gotErr)
 	}
@@ -158,7 +155,7 @@ func TestGetFallsBackWhenLocalReplicaAbsent(t *testing.T) {
 	e := newSSPEnv(t, 4, 1) // single copy
 	key := Key{Group: "g", Kind: KindJournal, Seq: 7}
 	e.hosts[1].client.Put(key, []byte("only-on-1"), 10, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	var got string
 	e.hosts[2].client.Get(key, func(d []byte, s int64, err error) {
 		if err != nil {
@@ -166,7 +163,7 @@ func TestGetFallsBackWhenLocalReplicaAbsent(t *testing.T) {
 		}
 		got = string(d)
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if got != "only-on-1" {
 		t.Fatalf("got %q", got)
 	}
@@ -176,14 +173,14 @@ func TestGetSkipsCrashedReplica(t *testing.T) {
 	e := newSSPEnv(t, 3, 3)
 	key := Key{Group: "g", Kind: KindJournal, Seq: 3}
 	e.hosts[0].client.Put(key, []byte("v"), 10, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	// Reader without local copy? All three have copies here; crash one
 	// remote and read from a survivor through fallback ordering.
 	e.hosts[0].node.Crash()
 	var got string
 	var gotErr error
 	e.hosts[1].client.Get(key, func(d []byte, s int64, err error) { got, gotErr = string(d), err })
-	e.world.RunFor(300 * sim.Second)
+	e.sp.World.RunFor(300 * sim.Second)
 	if gotErr != nil || got != "v" {
 		t.Fatalf("got %q err=%v", got, gotErr)
 	}
@@ -193,7 +190,7 @@ func TestListMergesGroupKeysSorted(t *testing.T) {
 	e := newSSPEnv(t, 3, 1) // one copy each → views differ per node
 	put := func(host int, k Key) {
 		e.hosts[host].client.Put(k, nil, 10, func(error) {})
-		e.world.Run()
+		e.sp.World.Run()
 	}
 	put(0, Key{Group: "g", Kind: KindJournal, Seq: 2})
 	put(1, Key{Group: "g", Kind: KindJournal, Seq: 1})
@@ -207,7 +204,7 @@ func TestListMergesGroupKeysSorted(t *testing.T) {
 		}
 		keys = ks
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if len(keys) != 3 {
 		t.Fatalf("keys = %+v", keys)
 	}
@@ -220,9 +217,9 @@ func TestDeleteRemovesEverywhere(t *testing.T) {
 	e := newSSPEnv(t, 3, 3)
 	key := Key{Group: "g", Kind: KindImage, Seq: 1}
 	e.hosts[0].client.Put(key, []byte("x"), 10, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	e.hosts[0].client.Delete(key)
-	e.world.Run()
+	e.sp.World.Run()
 	for i, h := range e.hosts {
 		if h.pool.Has(key) {
 			t.Fatalf("pool %d still has object", i)
@@ -235,7 +232,7 @@ func TestReplicaClamping(t *testing.T) {
 	key := Key{Group: "g", Kind: KindJournal, Seq: 1}
 	var err error
 	e.hosts[0].client.Put(key, nil, 1, func(e2 error) { err = e2 })
-	e.world.Run()
+	e.sp.World.Run()
 	if err != nil {
 		t.Fatalf("put: %v", err)
 	}
@@ -247,11 +244,11 @@ func TestReplicaClamping(t *testing.T) {
 func TestWriteCostScalesWithLogicalSize(t *testing.T) {
 	e := newSSPEnv(t, 1, 1)
 	timeFor := func(size int64) sim.Time {
-		start := e.world.Now()
+		start := e.sp.World.Now()
 		var took sim.Time
 		e.hosts[0].client.Put(Key{Group: "t", Kind: KindImage, Seq: uint64(size)}, nil, size,
-			func(error) { took = e.world.Now() - start })
-		e.world.Run()
+			func(error) { took = e.sp.World.Now() - start })
+		e.sp.World.Run()
 		return took
 	}
 	small, big := timeFor(1<<20), timeFor(256<<20)
@@ -264,7 +261,7 @@ func TestListWithAllPoolNodesDown(t *testing.T) {
 	e := newSSPEnv(t, 3, 2)
 	key := Key{Group: "g", Kind: KindJournal, Seq: 1}
 	e.hosts[0].client.Put(key, nil, 1, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	for _, h := range e.hosts[1:] {
 		h.node.Crash()
 	}
@@ -272,7 +269,7 @@ func TestListWithAllPoolNodesDown(t *testing.T) {
 	var err error
 	var n int
 	e.hosts[0].client.List("g", func(ks []Key, _ map[Key]int64, e2 error) { err, n = e2, len(ks) })
-	e.world.RunFor(10 * sim.Second)
+	e.sp.World.RunFor(10 * sim.Second)
 	if err != nil || n != 1 {
 		t.Fatalf("list with peers down: err=%v n=%d", err, n)
 	}
@@ -282,9 +279,9 @@ func TestPutOverwriteReplacesObject(t *testing.T) {
 	e := newSSPEnv(t, 2, 2)
 	key := Key{Group: "g", Kind: KindImage, Seq: 5}
 	e.hosts[0].client.Put(key, []byte("v1"), 2, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	e.hosts[0].client.Put(key, []byte("v2"), 2, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	var got string
 	e.hosts[1].client.Get(key, func(d []byte, _ int64, err error) {
 		if err != nil {
@@ -292,7 +289,7 @@ func TestPutOverwriteReplacesObject(t *testing.T) {
 		}
 		got = string(d)
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if got != "v2" {
 		t.Fatalf("got %q", got)
 	}
@@ -302,7 +299,7 @@ func TestGetAfterWriterCrashServedByReplica(t *testing.T) {
 	e := newSSPEnv(t, 3, 2)
 	key := Key{Group: "g", Kind: KindJournal, Seq: 9}
 	e.hosts[0].client.Put(key, []byte("survives"), 8, func(error) {})
-	e.world.Run()
+	e.sp.World.Run()
 	e.hosts[0].node.Crash()
 	var got string
 	// Find a host that did NOT get a replica and read through fallback.
@@ -317,7 +314,7 @@ func TestGetAfterWriterCrashServedByReplica(t *testing.T) {
 	})
 	// The first fallback target may be the crashed writer, whose RPC only
 	// times out after the (generous, image-sized) client deadline.
-	e.world.RunFor(300 * sim.Second)
+	e.sp.World.RunFor(300 * sim.Second)
 	if got != "survives" && !e.hosts[1].pool.Has(key) && !e.hosts[2].pool.Has(key) {
 		t.Skip("both replicas landed on the crashed writer")
 	}
@@ -333,18 +330,18 @@ func TestGetAfterWriterCrashServedByReplica(t *testing.T) {
 // satisfies the put (lone-survivor degraded mode).
 func TestPutAvoidsSuspectMembers(t *testing.T) {
 	e := newSSPEnv(t, 3, 2)
-	down := map[simnet.NodeID]bool{e.ids[1]: true}
-	e.hosts[0].client.SetAvoid(func(id simnet.NodeID) bool { return down[id] })
-	e.world.Defer("crash", func() { e.hosts[1].node.Crash() })
+	down := map[transport.NodeID]bool{e.ids[1]: true}
+	e.hosts[0].client.SetAvoid(func(id transport.NodeID) bool { return down[id] })
+	e.sp.World.Defer("crash", func() { e.hosts[1].node.Crash() })
 
 	key := Key{Group: "g1", Kind: KindJournal, Seq: 1}
 	var putErr error
 	done := false
 	var doneAt sim.Time
 	e.hosts[0].client.Put(key, []byte("batch"), 5, func(err error) {
-		putErr, done, doneAt = err, true, e.world.Now()
+		putErr, done, doneAt = err, true, e.sp.World.Now()
 	})
-	e.world.Run()
+	e.sp.World.Run()
 	if !done || putErr != nil {
 		t.Fatalf("put done=%v err=%v, want success around the dead member", done, putErr)
 	}
@@ -363,7 +360,7 @@ func TestPutAvoidsSuspectMembers(t *testing.T) {
 	key2 := Key{Group: "g1", Kind: KindJournal, Seq: 2}
 	done, putErr = false, nil
 	e.hosts[0].client.Put(key2, []byte("batch2"), 5, func(err error) { putErr, done = err, true })
-	e.world.Run()
+	e.sp.World.Run()
 	if !done || putErr != nil {
 		t.Fatalf("lone-survivor put done=%v err=%v", done, putErr)
 	}

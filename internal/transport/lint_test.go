@@ -1,0 +1,47 @@
+package transport_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProtocolPackagesAreTransportAgnostic pins the tentpole property of
+// the transport extraction: the protocol state machines (mams, coord, ssp,
+// fsclient) speak only the transport interface. Any file under those
+// packages importing internal/simnet would silently re-couple them to the
+// sim plane and break the real deployment path, so the dependency is
+// banned here rather than left to code review.
+func TestProtocolPackagesAreTransportAgnostic(t *testing.T) {
+	banned := "mams/internal/simnet"
+	for _, pkg := range []string{"mams", "coord", "ssp", "fsclient"} {
+		dir := filepath.Join("..", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		checked := 0
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			checked++
+			for _, imp := range f.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == banned {
+					t.Errorf("%s imports %s; protocol packages must use internal/transport only", path, banned)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("no Go files found under %s (moved? update this lint)", dir)
+		}
+	}
+}

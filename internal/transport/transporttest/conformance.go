@@ -1,0 +1,368 @@
+package transporttest
+
+import (
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mams/internal/sim"
+	"mams/internal/transport"
+)
+
+// Ping / Pong are the conformance suite's wire payloads (gob-registered so
+// they survive the real transport's framing).
+type Ping struct{ N int }
+type Pong struct{ N int }
+
+func init() {
+	gob.Register(Ping{})
+	gob.Register(Pong{})
+}
+
+// Plane abstracts one transport implementation under conformance test.
+// Nodes may live on separate executors (the real plane hosts each node in
+// its own Transport, like separate processes), so every interaction with a
+// node goes through Do against that node.
+type Plane interface {
+	// Listen registers a node with the given handler.
+	Listen(id transport.NodeID, h transport.Handler) transport.Node
+	// Do runs fn on the executor that owns n and waits for it to finish.
+	Do(n transport.Node, fn func())
+	// Step lets roughly d of the plane's clock elapse (virtual time on the
+	// sim plane, wall time on the real plane).
+	Step(d sim.Time)
+	// Close tears the whole plane down.
+	Close()
+}
+
+// waitUntil steps the plane until cond (evaluated on n's executor) holds.
+func waitUntil(p Plane, n transport.Node, budget sim.Time, cond func() bool) bool {
+	const step = 2 * sim.Millisecond
+	for elapsed := sim.Time(0); ; elapsed += step {
+		ok := false
+		p.Do(n, func() { ok = cond() })
+		if ok {
+			return true
+		}
+		if elapsed >= budget {
+			return false
+		}
+		p.Step(step)
+	}
+}
+
+// echoHandler answers every Ping{N} with Pong{N}.
+type echoHandler struct{}
+
+func (echoHandler) HandleMessage(transport.NodeID, any) {}
+func (echoHandler) HandleRequest(from transport.NodeID, req any, reply func(any)) {
+	reply(Pong{N: req.(Ping).N})
+}
+
+// blackholeHandler accepts requests and never replies.
+type blackholeHandler struct{ got int }
+
+func (b *blackholeHandler) HandleMessage(transport.NodeID, any) {}
+func (b *blackholeHandler) HandleRequest(transport.NodeID, any, func(any)) { b.got++ }
+
+// onewayOnlyHandler does not implement RequestHandler at all.
+type onewayOnlyHandler struct{ msgs int }
+
+func (o *onewayOnlyHandler) HandleMessage(transport.NodeID, any) { o.msgs++ }
+
+// RunConformance exercises the behavioral contract both transport planes
+// must satisfy (see the package comment of internal/transport). mk builds a
+// fresh plane per subtest; the suite closes it.
+func RunConformance(t *testing.T, mk func(t *testing.T) Plane) {
+	t.Run("CallTimeout", func(t *testing.T) {
+		p := mk(t)
+		defer p.Close()
+		bh := &blackholeHandler{}
+		a := p.Listen("a", nil)
+		b := p.Listen("b", bh)
+		var calls int
+		var gotErr error
+		p.Do(a, func() {
+			a.Call("b", Ping{N: 1}, 50*sim.Millisecond, func(resp any, err error) {
+				calls++
+				gotErr = err
+			})
+		})
+		if !waitUntil(p, a, 5*sim.Second, func() bool { return calls > 0 }) {
+			t.Fatal("timeout callback never fired")
+		}
+		p.Do(a, func() {
+			if gotErr != transport.ErrTimeout {
+				t.Errorf("err = %v, want transport.ErrTimeout", gotErr)
+			}
+			if calls != 1 {
+				t.Errorf("callback ran %d times, want exactly once", calls)
+			}
+			if n := a.PendingCalls(); n != 0 {
+				t.Errorf("PendingCalls = %d after timeout, want 0", n)
+			}
+		})
+		// The request must actually have reached the (non-replying) server.
+		if !waitUntil(p, b, 5*sim.Second, func() bool { return bh.got == 1 }) {
+			t.Error("blackhole server never saw the request")
+		}
+	})
+
+	t.Run("ZeroTimeoutPendingLeak", func(t *testing.T) {
+		// A Call with timeout == 0 has no deadline, but a provably lost
+		// request (dead destination, unknown destination, non-RPC handler)
+		// must still fail the callback and clear the pending entry — the
+		// regression the sim plane fixed in reapDropped.
+		p := mk(t)
+		defer p.Close()
+		a := p.Listen("a", nil)
+		dead := p.Listen("dead", echoHandler{})
+		p.Listen("oneway", &onewayOnlyHandler{})
+		p.Do(dead, func() { dead.Crash() })
+		for _, to := range []transport.NodeID{"dead", "oneway", "never-existed"} {
+			to := to
+			var calls int
+			var gotErr error
+			p.Do(a, func() {
+				a.Call(to, Ping{N: 2}, 0, func(resp any, err error) {
+					calls++
+					gotErr = err
+				})
+			})
+			if !waitUntil(p, a, 5*sim.Second, func() bool { return calls > 0 }) {
+				t.Fatalf("Call(%q, timeout=0): callback never fired (pending leak)", to)
+			}
+			p.Do(a, func() {
+				if gotErr != transport.ErrTimeout {
+					t.Errorf("Call(%q): err = %v, want transport.ErrTimeout", to, gotErr)
+				}
+				if n := a.PendingCalls(); n != 0 {
+					t.Errorf("Call(%q): PendingCalls = %d, want 0", to, n)
+				}
+			})
+		}
+	})
+
+	t.Run("SendToDeadPeer", func(t *testing.T) {
+		// Sends to dead, unknown, or crashed peers vanish silently and the
+		// sender stays fully functional.
+		p := mk(t)
+		defer p.Close()
+		a := p.Listen("a", nil)
+		b := p.Listen("b", echoHandler{})
+		p.Do(b, func() { b.Crash() })
+		p.Do(a, func() {
+			a.Send("b", Ping{N: 3})
+			a.Send("never-existed", Ping{N: 4})
+		})
+		var calls int
+		var gotErr error
+		p.Do(a, func() {
+			a.Call("b", Ping{N: 5}, 40*sim.Millisecond, func(resp any, err error) {
+				calls++
+				gotErr = err
+			})
+		})
+		if !waitUntil(p, a, 5*sim.Second, func() bool { return calls > 0 }) {
+			t.Fatal("call to crashed peer never resolved")
+		}
+		p.Do(a, func() {
+			if gotErr != transport.ErrTimeout {
+				t.Errorf("call to crashed peer: err = %v, want transport.ErrTimeout", gotErr)
+			}
+		})
+		// Restart the peer; the link must work again (connection reuse must
+		// not pin a dead path).
+		p.Do(b, func() { b.Restart(); b.SetHandler(echoHandler{}) })
+		var resp any
+		p.Do(a, func() {
+			a.Call("b", Ping{N: 6}, sim.Second, func(r any, err error) {
+				if err == nil {
+					resp = r
+				}
+			})
+		})
+		if !waitUntil(p, a, 5*sim.Second, func() bool { return resp != nil }) {
+			t.Fatal("call after peer restart never completed")
+		}
+		p.Do(a, func() {
+			if pong, ok := resp.(Pong); !ok || pong.N != 6 {
+				t.Errorf("resp = %#v, want Pong{6}", resp)
+			}
+		})
+	})
+
+	t.Run("TimerOrdering", func(t *testing.T) {
+		p := mk(t)
+		defer p.Close()
+		a := p.Listen("a", nil)
+		var fired []string
+		p.Do(a, func() {
+			// Armed out of deadline order on purpose.
+			a.After(60*sim.Millisecond, "late", func() { fired = append(fired, "late") })
+			a.After(10*sim.Millisecond, "early", func() { fired = append(fired, "early") })
+			a.After(35*sim.Millisecond, "mid", func() { fired = append(fired, "mid") })
+		})
+		if !waitUntil(p, a, 5*sim.Second, func() bool { return len(fired) == 3 }) {
+			t.Fatal("timers never all fired")
+		}
+		p.Do(a, func() {
+			want := []string{"early", "mid", "late"}
+			for i := range want {
+				if fired[i] != want[i] {
+					t.Fatalf("fire order %v, want %v", fired, want)
+				}
+			}
+		})
+	})
+
+	t.Run("TimerStopAndPending", func(t *testing.T) {
+		p := mk(t)
+		defer p.Close()
+		a := p.Listen("a", nil)
+		var fired bool
+		var tm transport.Timer
+		p.Do(a, func() {
+			tm = a.After(30*sim.Millisecond, "doomed", func() { fired = true })
+			if !tm.Pending() {
+				t.Error("freshly armed timer not Pending")
+			}
+			if !tm.Stop() {
+				t.Error("Stop() of a pending timer returned false")
+			}
+			if tm.Pending() {
+				t.Error("stopped timer still Pending")
+			}
+			if tm.Stop() {
+				t.Error("second Stop() returned true")
+			}
+		})
+		p.Step(80 * sim.Millisecond)
+		p.Do(a, func() {
+			if fired {
+				t.Error("stopped timer fired anyway")
+			}
+		})
+		// A timer that fires transitions Pending→false and Stop→false.
+		var fired2 bool
+		var tm2 transport.Timer
+		p.Do(a, func() {
+			tm2 = a.After(5*sim.Millisecond, "quick", func() { fired2 = true })
+		})
+		if !waitUntil(p, a, 5*sim.Second, func() bool { return fired2 }) {
+			t.Fatal("timer never fired")
+		}
+		p.Do(a, func() {
+			if tm2.Pending() {
+				t.Error("fired timer still Pending")
+			}
+			if tm2.Stop() {
+				t.Error("Stop() after firing returned true")
+			}
+		})
+	})
+
+	t.Run("CrashDropsTimersAndCalls", func(t *testing.T) {
+		p := mk(t)
+		defer p.Close()
+		a := p.Listen("a", nil)
+		p.Listen("b", &blackholeHandler{})
+		var timerFired, cbRan bool
+		p.Do(a, func() {
+			a.After(20*sim.Millisecond, "dead-timer", func() { timerFired = true })
+			a.Call("b", Ping{N: 7}, 30*sim.Millisecond, func(any, error) { cbRan = true })
+			a.Crash()
+			if n := a.PendingCalls(); n != 0 {
+				t.Errorf("PendingCalls = %d after crash, want 0", n)
+			}
+		})
+		p.Step(100 * sim.Millisecond)
+		p.Do(a, func() {
+			if timerFired {
+				t.Error("timer armed before crash fired after it")
+			}
+			if cbRan {
+				t.Error("call callback ran after the caller crashed")
+			}
+		})
+	})
+
+	t.Run("ConcurrentCalls", func(t *testing.T) {
+		// Many goroutines issue calls through the executor bridge; every
+		// call completes exactly once with the right payload and nothing
+		// races (run under -race). Completion counters are only touched on
+		// each client's executor; the main goroutine drives plane time.
+		const workers, per = 8, 24
+		p := mk(t)
+		defer p.Close()
+		clients := make([]transport.Node, workers)
+		good := make([]int, workers)
+		bad := make([]int, workers)
+		for i := range clients {
+			clients[i] = p.Listen(transport.NodeID(fmt.Sprintf("client-%d", i)), nil)
+		}
+		p.Listen("echo", echoHandler{})
+		issued := make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			go func() {
+				for i := 0; i < per; i++ {
+					n := w*per + i
+					p.Do(clients[w], func() {
+						clients[w].Call("echo", Ping{N: n}, 10*sim.Second, func(r any, err error) {
+							if pong, isPong := r.(Pong); err == nil && isPong && pong.N == n {
+								good[w]++
+							} else {
+								bad[w]++
+							}
+						})
+					})
+				}
+				issued <- struct{}{}
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			<-issued
+		}
+		for w := 0; w < workers; w++ {
+			w := w
+			if !waitUntil(p, clients[w], 20*sim.Second, func() bool { return good[w]+bad[w] == per }) {
+				t.Fatalf("worker %d: only %d/%d calls completed", w, good[w]+bad[w], per)
+			}
+			p.Do(clients[w], func() {
+				if bad[w] != 0 {
+					t.Errorf("worker %d: %d failed or mismatched responses", w, bad[w])
+				}
+				if n := clients[w].PendingCalls(); n != 0 {
+					t.Errorf("worker %d: PendingCalls = %d, want 0", w, n)
+				}
+			})
+		}
+	})
+}
+
+// LeakCheck snapshots the goroutine count; the returned func (run from
+// t.Cleanup after the plane or cluster is torn down) retries until the
+// count settles back to the baseline, then fails the test if it never does
+// — the no-new-dependency stand-in for goleak.
+func LeakCheck(t *testing.T) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			now := runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after teardown\n%s", before, now, buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package transporttest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mams/internal/nettrans"
+	"mams/internal/sim"
+	"mams/internal/transport"
+)
+
+// SimPlane runs the conformance suite on the deterministic plane: one
+// world, one simnet.Network, everything on the test goroutine (the mutex
+// only serializes the suite's own worker goroutines).
+type SimPlane struct {
+	mu  sync.Mutex
+	sim *Sim
+}
+
+// NewSimPlane builds a sim-plane fixture with the standard LAN latency
+// model.
+func NewSimPlane(_ *testing.T) Plane {
+	return &SimPlane{sim: NewSim(1, 50_000_000, 200*sim.Microsecond, 0.25, nil)}
+}
+
+// Listen implements Plane.
+func (p *SimPlane) Listen(id transport.NodeID, h transport.Handler) transport.Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sim.Net.Listen(id, h)
+}
+
+// Do implements Plane: the world's executor is whoever holds the mutex.
+func (p *SimPlane) Do(_ transport.Node, fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn()
+}
+
+// Step implements Plane by advancing virtual time.
+func (p *SimPlane) Step(d sim.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sim.World.RunFor(d)
+}
+
+// Close implements Plane (nothing to tear down — no goroutines).
+func (p *SimPlane) Close() {}
+
+// NetPlane runs the conformance suite on the real plane. Every node gets
+// its own Transport — its own TCP listener, event loop, and connections —
+// so cross-node traffic genuinely crosses process-style boundaries over
+// loopback.
+type NetPlane struct {
+	t    *testing.T
+	book *nettrans.AddrBook
+
+	mu  sync.Mutex
+	trs []*nettrans.Transport
+}
+
+// NewNetPlane builds a real-plane fixture on loopback ports.
+func NewNetPlane(t *testing.T) Plane {
+	return &NetPlane{t: t, book: nettrans.NewAddrBook()}
+}
+
+// Listen implements Plane: one fresh Transport per node.
+func (p *NetPlane) Listen(id transport.NodeID, h transport.Handler) transport.Node {
+	tr, err := nettrans.New(nettrans.Config{Addr: "127.0.0.1:0", Book: p.book})
+	if err != nil {
+		p.t.Fatalf("nettrans.New: %v", err)
+	}
+	p.mu.Lock()
+	p.trs = append(p.trs, tr)
+	p.mu.Unlock()
+	p.book.Set(id, tr.Addr())
+	return tr.Listen(id, h)
+}
+
+// Do implements Plane by hopping onto the owning transport's event loop.
+func (p *NetPlane) Do(n transport.Node, fn func()) {
+	n.(*nettrans.Node).Transport().Do(fn)
+}
+
+// Step implements Plane by letting wall time pass.
+func (p *NetPlane) Step(d sim.Time) { time.Sleep(time.Duration(d)) }
+
+// Close implements Plane.
+func (p *NetPlane) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tr := range p.trs {
+		tr.Close()
+	}
+}

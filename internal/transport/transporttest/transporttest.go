@@ -1,0 +1,38 @@
+// Package transporttest provides scaffolding shared by tests that exercise
+// protocol code over a transport. The protocol packages (internal/mams,
+// internal/coord, internal/ssp, internal/fsclient) must not import
+// internal/simnet — not even from their tests (pinned by the lint test in
+// internal/transport) — so the sim-plane construction they need lives here.
+//
+// It also hosts the cross-transport conformance suite (conformance.go):
+// behavioral contracts every transport implementation must satisfy, run by
+// both internal/simnet and internal/nettrans test packages.
+package transporttest
+
+import (
+	"mams/internal/rng"
+	"mams/internal/sim"
+	"mams/internal/simnet"
+	"mams/internal/trace"
+)
+
+// Sim is a minimal sim-plane world: a discrete-event kernel plus one
+// simulated network. Fault-injection and stepping happen through the
+// exported fields; nodes are registered via Net.Listen (the transport
+// interface) so tests never name simnet types.
+type Sim struct {
+	World *sim.World
+	Net   *simnet.Network
+}
+
+// NewSim builds a world with the given step limit and a seeded network with
+// a log-normal latency model (spread 0 = constant latency). log may be nil.
+func NewSim(seed uint64, stepLimit uint64, base sim.Time, spread float64, log *trace.Log) *Sim {
+	w := sim.NewWorld()
+	w.SetStepLimit(stepLimit)
+	net := simnet.New(w, rng.New(seed), simnet.LatencyModel{Base: base, Spread: spread}, log)
+	return &Sim{World: w, Net: net}
+}
+
+// RunFor advances virtual time.
+func (s *Sim) RunFor(d sim.Time) { s.World.RunFor(d) }

@@ -12,6 +12,12 @@ go test ./...
 # default 10m test timeout on small machines. This covers the tvl sweep
 # (TestTvlSpeedups, TestTvlDeterministicAcrossParallelism) under race.
 go test -race -timeout 40m ./internal/experiments/... ./internal/sim/...
+# The real transport is all goroutines (event loop, connection readers and
+# writers, wall-clock timers): its conformance run, the wire-plane cluster
+# failover test, and the sim-plane side of the shared suite always run under
+# race. The transporttest lint also asserts no protocol package (mams,
+# coord, ssp, fsclient) imports internal/simnet.
+go test -race ./internal/nettrans/... ./internal/simnet/... ./internal/transport/...
 go test -race -timeout 40m ./internal/mams/...
 go test -race ./internal/obs/...
 # The health detector rides inside every parallel detect cell (one World
@@ -73,4 +79,9 @@ grep -q '"policy": "migrate"' BENCH_shard.json
 # EXPERIMENTS.md's detection scorecard.
 go run ./cmd/mamsbench -exp detect -bench-out BENCH_detect.json >/dev/null
 grep -q '"Fault": "brownout"' BENCH_detect.json
+# Wire smoke: boot the full deployment over loopback TCP (real listeners,
+# real connections, wall-clock timers) and push a bounded burst of
+# create/stat through fsclient. Proves the unmodified state machines serve
+# genuine network traffic; the budget keeps it CI-sized.
+go run ./cmd/mamsbench -exp wire -ops 200 -wire-budget 2s
 echo "check: OK"
